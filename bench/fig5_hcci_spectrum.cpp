@@ -1,0 +1,13 @@
+// Reproduces Fig 5: per-mode singular values of the HCCI combustion
+// dataset (here: the HCCI-like synthetic stand-in with matching per-mode
+// spectral shapes; see DESIGN.md substitutions).
+
+#include "spectrum_common.hpp"
+
+int main(int argc, char** argv) {
+  tucker::bench::Args args(argc, argv);
+  const double scale = args.get("scale", 0.5);
+  auto x = tucker::data::hcci_like(scale);
+  tucker::bench::print_spectra("Fig 5", "HCCI", x);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Fig 6: per-mode singular values of the Stats-Planar (SP)
+// combustion dataset (here: the SP-like synthetic stand-in; see DESIGN.md).
+
+#include "spectrum_common.hpp"
+
+int main(int argc, char** argv) {
+  tucker::bench::Args args(argc, argv);
+  const double scale = args.get("scale", 1.0);
+  auto x = tucker::data::sp_like(scale);
+  tucker::bench::print_spectra("Fig 6", "SP", x);
+  return 0;
+}

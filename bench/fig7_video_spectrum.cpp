@@ -1,0 +1,13 @@
+// Reproduces Fig 7: per-mode singular values of the video dataset (here:
+// the video-like synthetic stand-in -- fast two-order decay then a long
+// plateau; see DESIGN.md).
+
+#include "spectrum_common.hpp"
+
+int main(int argc, char** argv) {
+  tucker::bench::Args args(argc, argv);
+  const double scale = args.get("scale", 0.5);
+  auto x = tucker::data::video_like(scale);
+  tucker::bench::print_spectra("Fig 7", "Video", x);
+  return 0;
+}

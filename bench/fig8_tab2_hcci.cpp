@@ -1,0 +1,17 @@
+// Reproduces Fig 8 + Table 2: compression ratio, achieved error and time
+// breakdown for the HCCI dataset at tolerances 1e-2 .. 1e-8, all four
+// variants. Paper ran 4 nodes (128 cores) with a 16x8x1x1 grid and
+// backward ordering; scaled default here: 8 simulated ranks, 4x2x1x1 grid
+// on the HCCI-like stand-in.
+
+#include "tolerance_common.hpp"
+
+int main(int argc, char** argv) {
+  tucker::bench::Args args(argc, argv);
+  const double scale = args.get("scale", 0.4);
+  auto x = tucker::data::hcci_like(scale);
+  tucker::bench::run_tolerance_sweep("Fig 8 + Tab 2", "HCCI", x,
+                                     {4, 2, 1, 1},
+                                     {1e-2, 1e-4, 1e-6, 1e-8});
+  return 0;
+}

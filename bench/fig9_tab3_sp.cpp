@@ -1,0 +1,16 @@
+// Reproduces Fig 9 + Table 3: the tolerance sweep on the SP dataset.
+// Paper ran 50 nodes (1600 cores) with a 40x20x2x1x1 grid and backward
+// ordering; scaled default here: 8 simulated ranks, 2x2x2x1x1 grid on the
+// SP-like stand-in.
+
+#include "tolerance_common.hpp"
+
+int main(int argc, char** argv) {
+  tucker::bench::Args args(argc, argv);
+  const double scale = args.get("scale", 1.0);
+  auto x = tucker::data::sp_like(scale);
+  tucker::bench::run_tolerance_sweep("Fig 9 + Tab 3", "SP", x,
+                                     {2, 2, 2, 1, 1},
+                                     {1e-2, 1e-4, 1e-6, 1e-8});
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Microbenchmarks (google-benchmark) for the local computational kernels
+// the paper's performance discussion rests on (Sec 4.2.1): gemm, syrk
+// (the Gram kernel), Householder LQ on row- and column-major layouts
+// (geqr vs gelq), the structured tpqrt merge, and the small dense
+// SVD/EVD solvers. Reported flop rates feed the cost-model sanity checks
+// in EXPERIMENTS.md.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/matrix.hpp"
+#include "common/rng.hpp"
+#include "data/synthetic_matrix.hpp"
+#include "lapack/eig.hpp"
+#include "lapack/tridiag_eig.hpp"
+#include "lapack/qr.hpp"
+#include "lapack/svd.hpp"
+#include "lapack/tpqrt.hpp"
+
+namespace {
+
+using tucker::blas::index_t;
+using tucker::blas::Matrix;
+using tucker::blas::MatView;
+
+template <class T>
+Matrix<T> rand_mat(index_t m, index_t n, std::uint64_t seed) {
+  tucker::Rng rng(seed);
+  Matrix<T> a(m, n);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) a(i, j) = rng.normal<T>();
+  return a;
+}
+
+template <class T>
+void BM_gemm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto a = rand_mat<T>(n, n, 1);
+  auto b = rand_mat<T>(n, n, 2);
+  Matrix<T> c(n, n);
+  for (auto _ : state) {
+    tucker::blas::gemm(T(1), MatView<const T>(a.view()),
+                       MatView<const T>(b.view()), T(0), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK_TEMPLATE(BM_gemm, float)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK_TEMPLATE(BM_gemm, double)->Arg(64)->Arg(128)->Arg(256);
+
+template <class T>
+void BM_syrk_gram(benchmark::State& state) {
+  // The Gram kernel: m x n short-fat, row-major.
+  const index_t m = state.range(0);
+  const index_t n = 64 * m;
+  auto a = rand_mat<T>(m, n, 3);
+  Matrix<T> g(m, m);
+  for (auto _ : state) {
+    tucker::blas::syrk(T(1), MatView<const T>(a.view()), T(0), g.view());
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * (m + 1) * n);
+}
+BENCHMARK_TEMPLATE(BM_syrk_gram, float)->Arg(32)->Arg(64);
+BENCHMARK_TEMPLATE(BM_syrk_gram, double)->Arg(32)->Arg(64);
+
+template <class T>
+void BM_lq_rowmajor(benchmark::State& state) {
+  // LQ of a short-fat row-major matrix (the paper's geqr-equivalent path).
+  const index_t m = state.range(0);
+  const index_t n = 64 * m;
+  auto a0 = rand_mat<T>(m, n, 4);
+  std::vector<T> tau;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix<T> a = a0;
+    state.ResumeTiming();
+    tucker::la::gelqf(a.view(), tau);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * m * n);
+}
+BENCHMARK_TEMPLATE(BM_lq_rowmajor, float)->Arg(32)->Arg(64);
+BENCHMARK_TEMPLATE(BM_lq_rowmajor, double)->Arg(32)->Arg(64);
+
+template <class T>
+void BM_lq_colmajor(benchmark::State& state) {
+  // LQ of a short-fat column-major matrix (the gelq path after
+  // redistribution).
+  const index_t m = state.range(0);
+  const index_t n = 64 * m;
+  auto a0 = rand_mat<T>(m, n, 5);
+  std::vector<T> buf(static_cast<std::size_t>(m * n));
+  std::vector<T> tau;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto acm = MatView<T>::col_major(buf.data(), m, n);
+    tucker::blas::copy(MatView<const T>(a0.view()), acm);
+    state.ResumeTiming();
+    tucker::la::gelqf(acm, tau);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * m * n);
+}
+BENCHMARK_TEMPLATE(BM_lq_colmajor, float)->Arg(32)->Arg(64);
+BENCHMARK_TEMPLATE(BM_lq_colmajor, double)->Arg(32)->Arg(64);
+
+template <class T>
+void BM_tpqrt_triangle_merge(benchmark::State& state) {
+  // The butterfly reduction step: merging two n x n triangles.
+  const index_t n = state.range(0);
+  auto mk = [&](std::uint64_t seed) {
+    auto a = rand_mat<T>(n, n, seed);
+    std::vector<T> tau;
+    tucker::la::geqrf(a.view(), tau);
+    return tucker::la::extract_r<T>(a.view());
+  };
+  auto r0 = mk(6);
+  auto b0 = mk(7);
+  std::vector<T> tau;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix<T> r = r0;
+    Matrix<T> b = b0;
+    state.ResumeTiming();
+    tucker::la::tpqrt(r.view(), b.view(), tau,
+                      tucker::la::Pentagon::kTriangular);
+    benchmark::DoNotOptimize(r.data());
+  }
+}
+BENCHMARK_TEMPLATE(BM_tpqrt_triangle_merge, float)->Arg(64)->Arg(128);
+BENCHMARK_TEMPLATE(BM_tpqrt_triangle_merge, double)->Arg(64)->Arg(128);
+
+template <class T>
+void BM_jacobi_svd(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto sigma = tucker::data::geometric_spectrum(n, 1.0, 1e-6);
+  auto ad = tucker::data::matrix_with_spectrum(n, n, sigma, 8);
+  auto a = tucker::data::round_to<T>(ad);
+  for (auto _ : state) {
+    auto r = tucker::la::jacobi_svd(MatView<const T>(a.view()));
+    benchmark::DoNotOptimize(r.sigma.data());
+  }
+}
+BENCHMARK_TEMPLATE(BM_jacobi_svd, float)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK_TEMPLATE(BM_jacobi_svd, double)->Arg(32)->Arg(64)->Arg(128);
+
+template <class T>
+void BM_jacobi_eig(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto g0 = rand_mat<T>(n, 4 * n, 9);
+  Matrix<T> g(n, n);
+  tucker::blas::syrk(T(1), MatView<const T>(g0.view()), T(0), g.view());
+  for (auto _ : state) {
+    auto r = tucker::la::jacobi_eig(MatView<const T>(g.view()));
+    benchmark::DoNotOptimize(r.lambda.data());
+  }
+}
+BENCHMARK_TEMPLATE(BM_jacobi_eig, float)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK_TEMPLATE(BM_jacobi_eig, double)->Arg(32)->Arg(64)->Arg(128);
+
+
+template <class T>
+void BM_tridiag_eig(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto g0 = rand_mat<T>(n, 4 * n, 11);
+  Matrix<T> g(n, n);
+  tucker::blas::syrk(T(1), MatView<const T>(g0.view()), T(0), g.view());
+  for (auto _ : state) {
+    auto r = tucker::la::tridiag_eig(MatView<const T>(g.view()));
+    benchmark::DoNotOptimize(r.lambda.data());
+  }
+}
+BENCHMARK_TEMPLATE(BM_tridiag_eig, float)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK_TEMPLATE(BM_tridiag_eig, double)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

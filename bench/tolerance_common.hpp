@@ -1,0 +1,78 @@
+#pragma once
+// Shared driver for Figs 8-9 + Tables 2-3: compression ratio, achieved
+// relative error, and time breakdown of the four variants over a ladder of
+// error tolerances, on a distributed dataset stand-in.
+//
+// Expected shape (paper Sec 4.5.3):
+//   eps = 1e-2: all variants compress equally; Gram single is fastest.
+//   eps = 1e-4: Gram single fails (compression ~1, tolerance missed);
+//               QR single is the fastest accurate method.
+//   eps = 1e-6: QR single degrades; Gram double / QR double remain.
+//   eps = 1e-8: only QR double achieves the tolerance.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace tucker::bench {
+
+inline void run_tolerance_sweep(const char* figure, const char* dataset,
+                                const tensor::Tensor<double>& x,
+                                const Dims& grid,
+                                const std::vector<double>& tolerances) {
+  std::printf("%s: %s-like dataset, dims %s, grid %s, backward ordering\n",
+              figure, dataset, dims_to_string(x.dims()).c_str(),
+              dims_to_string(grid).c_str());
+  print_rule();
+
+  const auto order = core::backward_order(x.order());
+
+  // Table (paper Tabs 2/3): compression and error per tolerance x variant.
+  std::printf("%-8s", "tol");
+  for (const auto& v : all_variants())
+    std::printf(" | %-11s compr     error", v.name);
+  std::printf("\n");
+
+  // Collected timing rows printed after the accuracy table (Fig 8b/9b).
+  struct TimingRow {
+    double tol;
+    std::vector<CaseResult> results;
+  };
+  std::vector<TimingRow> timings;
+
+  for (double tol : tolerances) {
+    std::printf("%-8.0e", tol);
+    TimingRow row;
+    row.tol = tol;
+    for (const auto& v : all_variants()) {
+      auto res = run_case(x, grid, TruncationSpec::tolerance(tol), v, order,
+                          /*reference_error=*/true);
+      std::printf(" | %9.2e %9.2e     ", res.compression, res.error);
+      row.results.push_back(std::move(res));
+    }
+    std::printf("\n");
+    timings.push_back(std::move(row));
+  }
+
+  print_rule();
+  std::printf("time breakdown (slowest rank), per tolerance and variant:\n");
+  for (const auto& row : timings) {
+    std::printf("tolerance %.0e:\n", row.tol);
+    for (std::size_t i = 0; i < row.results.size(); ++i) {
+      const auto& r = row.results[i];
+      const bool accurate = r.error <= row.tol * 1.05;
+      std::printf("  %-12s %s  total=%8.4fs  LQ/Gram=%8.4fs  "
+                  "SVD/EVD=%8.4fs  TTM=%8.4fs  comm=%8.4fs  ranks=",
+                  all_variants()[i].name, accurate ? "[ok]  " : "[FAIL]",
+                  r.makespan, r.lq_gram, r.svd_evd, r.ttm, r.comm);
+      for (auto rk : r.ranks) std::printf("%ld ", static_cast<long>(rk));
+      std::printf("\n");
+    }
+  }
+  print_rule();
+  std::printf("[ok] = achieved error within the tolerance; the paper omits "
+              "times for variants that fail.\n");
+}
+
+}  // namespace tucker::bench

@@ -1,0 +1,59 @@
+// Distributed compression of a combustion-simulation-like dataset.
+//
+// This is the paper's motivating workload: a 5-way tensor from a
+// methane-air combustion simulation (SP), too large for one node,
+// compressed in parallel under a user-specified error tolerance. The
+// example runs the distributed ST-HOSVD on 8 simulated MPI ranks arranged
+// in a 2x2x2x1x1 grid and sweeps the tolerance, printing compression,
+// achieved error, and the simulated parallel runtime for the numerically
+// stable QR-SVD path in both precisions.
+//
+// Run:  ./combustion_compression [--scale=1.0]
+
+#include <cstdio>
+
+#include "core/par_sthosvd.hpp"
+#include "data/synthetic_tensor.hpp"
+#include "simmpi/runtime.hpp"
+
+int main() {
+  using namespace tucker;
+
+  tensor::Tensor<double> x = data::sp_like(/*scale=*/1.0);
+  std::printf("SP-like combustion tensor: %ld x %ld x %ld x %ld x %ld\n",
+              long(x.dim(0)), long(x.dim(1)), long(x.dim(2)), long(x.dim(3)),
+              long(x.dim(4)));
+  std::printf("%10s %10s %12s %12s %12s\n", "tolerance", "precision",
+              "compression", "rel.error", "sim.time(s)");
+
+  for (double tol : {1e-2, 1e-4, 1e-6}) {
+    for (bool single : {true, false}) {
+      double compression = 0, error = 0;
+      auto run_one = [&](auto tag) {
+        using T = decltype(tag);
+        auto xt = data::round_tensor_to<T>(x);
+        auto stats = mpi::Runtime::run(8, [&](mpi::Comm& world) {
+          dist::DistTensor<T> dt(world, dist::ProcessorGrid({2, 2, 2, 1, 1}),
+                                 xt.dims());
+          dt.fill_from(xt);
+          auto res = core::par_sthosvd(
+              dt, core::TruncationSpec::tolerance(tol), core::SvdMethod::kQr,
+              core::backward_order(5));
+          auto tk = res.gather_to_root();
+          if (world.rank() == 0) {
+            compression = tk.compression_ratio();
+            error = core::relative_error(xt, tk);
+          }
+        });
+        return stats.makespan();
+      };
+      const double t = single ? run_one(float{}) : run_one(double{});
+      std::printf("%10.0e %10s %12.2e %12.2e %12.4f\n", tol,
+                  single ? "single" : "double", compression, error, t);
+    }
+  }
+  std::printf("\nNote how single precision suffices (and is faster) until "
+              "the tolerance\napproaches eps_single ~ 1e-7 -- the paper's "
+              "central observation.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// CLI driver: distributed compression of a raw binary tensor file — the
+// full TuckerMPI-style pipeline on the simulated cluster: read + scatter,
+// optional per-slice normalization, parallel ST-HOSVD, gather + save.
+//
+// Usage:
+//   ./par_compress_file --input=data.bin --dims=100x80x60 --grid=2x2x2
+//                       --tolerance=1e-3 [--normalize=mode] [--output=o.tkd]
+//
+// With no --input a demo tensor is generated and written first, so the
+// example runs out of the box.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "tucker.hpp"
+
+namespace {
+
+using tucker::blas::index_t;
+using tucker::tensor::Dims;
+
+Dims parse_dims(const std::string& s) {
+  Dims d;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find('x', pos);
+    if (next == std::string::npos) next = s.size();
+    d.push_back(
+        static_cast<index_t>(std::atol(s.substr(pos, next - pos).c_str())));
+    pos = next + 1;
+  }
+  return d;
+}
+
+std::string arg_value(int argc, char** argv, const char* key,
+                      const char* dflt) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return argv[i] + prefix.size();
+  return dflt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input = arg_value(argc, argv, "input", "");
+  Dims dims = parse_dims(arg_value(argc, argv, "dims", ""));
+  Dims grid = parse_dims(arg_value(argc, argv, "grid", "2x2x1"));
+  const double tolerance =
+      std::atof(arg_value(argc, argv, "tolerance", "1e-3").c_str());
+  const std::string output =
+      arg_value(argc, argv, "output", "par_compressed.tkd");
+  const long norm_mode = std::atol(arg_value(argc, argv, "normalize", "-1").c_str());
+
+  if (input.empty()) {
+    std::printf("no --input given; generating a demo tensor\n");
+    auto demo = tucker::data::sp_like(0.6);
+    input = "par_demo_input.bin";
+    dims = demo.dims();
+    grid = Dims(dims.size(), 1);
+    grid[0] = 2;
+    grid[1] = 2;
+    tucker::io::write_raw_tensor(input, demo);
+  }
+  TUCKER_CHECK(!dims.empty() && dims.size() == grid.size(),
+               "need matching --dims and --grid");
+
+  const int p = tucker::dist::ProcessorGrid(grid).total();
+  std::printf("compressing %s on %d simulated ranks...\n", input.c_str(), p);
+
+  auto stats = tucker::mpi::Runtime::run(p, [&](tucker::mpi::Comm& world) {
+    tucker::dist::DistTensor<double> dt(
+        world, tucker::dist::ProcessorGrid(grid), dims);
+    tucker::io::read_raw_dist_tensor(input, dt);
+
+    tucker::tensor::SliceTransform tr;
+    if (norm_mode >= 0)
+      tr = tucker::dist::par_normalize_slices(
+          dt, static_cast<std::size_t>(norm_mode),
+          tucker::tensor::Normalization::kStandardCentering);
+
+    auto res = tucker::core::par_sthosvd(
+        dt, tucker::core::TruncationSpec::tolerance(tolerance),
+        tucker::core::SvdMethod::kQr,
+        tucker::core::backward_order(dims.size()));
+
+    auto tk = res.gather_to_root();
+    if (world.rank() == 0) {
+      tucker::io::write_tucker(output, tk);
+      std::printf("core dims   : ");
+      for (auto d : tk.core.dims()) std::printf("%ld ", long(d));
+      std::printf("\ncompression : %.2fx\n", tk.compression_ratio());
+      std::printf("est. error  : %.3e (certified from tail energies)\n",
+                  res.estimated_relative_error());
+      std::printf("output      : %s%s\n", output.c_str(),
+                  norm_mode >= 0 ? "  (data was normalized; keep the "
+                                   "transform to denormalize)"
+                                 : "");
+    }
+  });
+  std::printf("simulated parallel time: %.4fs  (slowest rank: compute "
+              "%.4fs, comm %.4fs)\n",
+              stats.makespan(), stats.slowest().compute_seconds,
+              stats.slowest().comm_seconds);
+  return 0;
+}

@@ -1,0 +1,174 @@
+#pragma once
+// Level-3 kernels: general matrix multiply and symmetric rank-k update.
+//
+// These are the flop-dominant kernels of both SVD paths: the Gram approach
+// spends nearly all its time in syrk on unfolding blocks (TuckerMPI Alg 2),
+// and both approaches share gemm inside the TTM truncation. Kernels take
+// stride-generic views; transposition is expressed with MatView::t().
+
+#include <algorithm>
+#include <vector>
+
+#include "blas/blas1.hpp"
+#include "blas/matview.hpp"
+#include "common/flops.hpp"
+
+namespace tucker::blas {
+
+namespace detail {
+
+// Cache-blocking widths. jb keeps a C-row chunk plus a B-tile in L1;
+// kb bounds the working set of B rows reused across the i loop.
+inline constexpr index_t kGemmJB = 512;
+inline constexpr index_t kGemmKB = 64;
+
+}  // namespace detail
+
+/// C = alpha * A * B + beta * C.
+/// Shapes: A is m x k, B is k x n, C is m x n. Any strides: a C stored
+/// column-major is handled by computing C^T = B^T A^T; a B without unit
+/// column stride is tile-packed into a contiguous scratch buffer (the same
+/// strategy BLAS implementations use), so every layout runs at the
+/// vectorized-kernel rate.
+template <class T>
+void gemm(T alpha, MatView<const T> a, MatView<const T> b, T beta,
+          MatView<T> c) {
+  const index_t m = c.rows(), n = c.cols(), k = a.cols();
+  TUCKER_CHECK(a.rows() == m && b.rows() == k && b.cols() == n,
+               "gemm: shape mismatch");
+
+  // Column-contiguous C: flip to the transposed product, which is
+  // row-contiguous.
+  if (c.col_stride() != 1 && c.row_stride() == 1) {
+    gemm<T>(alpha, b.t(), a.t(), beta, c.t());
+    return;
+  }
+
+  add_flops(2 * m * n * k);
+
+  if (beta == T(0)) {
+    fill(c, T(0));
+  } else if (beta != T(1)) {
+    for (index_t i = 0; i < m; ++i)
+      for (index_t j = 0; j < n; ++j) c(i, j) *= beta;
+  }
+  if (alpha == T(0) || k == 0) return;
+
+  const bool pack_b = b.col_stride() != 1;
+  static thread_local std::vector<T> btile;
+  if (pack_b)
+    btile.resize(
+        static_cast<std::size_t>(detail::kGemmKB * detail::kGemmJB));
+
+  if (c.col_stride() == 1) {
+    // i-k-j order with contiguous inner axpy; blocked over j (keeps the C
+    // chunk resident) and k (bounds the B tile streamed per pass).
+    for (index_t j0 = 0; j0 < n; j0 += detail::kGemmJB) {
+      const index_t jn = std::min(detail::kGemmJB, n - j0);
+      for (index_t k0 = 0; k0 < k; k0 += detail::kGemmKB) {
+        const index_t kn = std::min(detail::kGemmKB, k - k0);
+        if (pack_b) {
+          // Read along B's contiguous direction (column-major B is the
+          // common case) so the pack streams memory instead of striding.
+          if (b.row_stride() == 1) {
+            for (index_t j = 0; j < jn; ++j) {
+              const T* src = &b(k0, j0 + j);
+              for (index_t kk = 0; kk < kn; ++kk)
+                btile[static_cast<std::size_t>(kk * jn + j)] = src[kk];
+            }
+          } else {
+            for (index_t kk = 0; kk < kn; ++kk)
+              for (index_t j = 0; j < jn; ++j)
+                btile[static_cast<std::size_t>(kk * jn + j)] =
+                    b(k0 + kk, j0 + j);
+          }
+        }
+        for (index_t i = 0; i < m; ++i) {
+          T* crow = &c(i, j0);
+          for (index_t kk = 0; kk < kn; ++kk) {
+            const T av = alpha * a(i, k0 + kk);
+            if (av == T(0)) continue;
+            const T* brow = pack_b
+                                ? btile.data() + kk * jn
+                                : &b(k0 + kk, j0);
+            for (index_t j = 0; j < jn; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  } else {
+    // Fully generic fallback (neither C orientation contiguous).
+    for (index_t i = 0; i < m; ++i)
+      for (index_t kk = 0; kk < k; ++kk) {
+        const T av = alpha * a(i, kk);
+        if (av == T(0)) continue;
+        for (index_t j = 0; j < n; ++j) c(i, j) += av * b(kk, j);
+      }
+  }
+}
+
+/// C = alpha * A * A^T + beta * C, with A m x n and C m x m.
+/// Computes the lower triangle by dot products over contiguous rows when A
+/// is row-major, then mirrors to the upper triangle (the Gram eigensolver
+/// wants the full symmetric matrix).
+template <class T>
+void syrk(T alpha, MatView<const T> a, T beta, MatView<T> c) {
+  const index_t m = a.rows(), n = a.cols();
+  TUCKER_CHECK(c.rows() == m && c.cols() == m, "syrk: C must be m x m");
+  // Nominal cost: m(m+1)n mults+adds over the triangle.
+  add_flops(static_cast<std::int64_t>(m) * (m + 1) * n);
+
+  if (beta == T(0)) {
+    fill(c, T(0));
+  } else if (beta != T(1)) {
+    for (index_t i = 0; i < m; ++i)
+      for (index_t j = 0; j < m; ++j) c(i, j) *= beta;
+  }
+  if (alpha == T(0) || n == 0) {
+    return;
+  }
+
+  // Rank-1 outer products, one column of A at a time: the inner loop is a
+  // contiguous axpy with no floating-point reduction, so it vectorizes
+  // under strict FP semantics (a dot-product formulation would serialize on
+  // the accumulator). Row-major input is transpose-packed in column tiles.
+  if (c.col_stride() != 1) {
+    // Generic-C fallback (not used by the library's own row-major Grams).
+    for (index_t kk = 0; kk < n; ++kk)
+      for (index_t i = 0; i < m; ++i) {
+        const T av = alpha * a(i, kk);
+        for (index_t j = 0; j <= i; ++j) c(i, j) += av * a(j, kk);
+      }
+  } else if (a.row_stride() == 1) {
+    for (index_t kk = 0; kk < n; ++kk) {
+      const T* col = &a(0, kk);
+      for (index_t i = 0; i < m; ++i) {
+        const T av = alpha * col[i];
+        T* crow = &c(i, 0);
+        for (index_t j = 0; j <= i; ++j) crow[j] += av * col[j];
+      }
+    }
+  } else {
+    constexpr index_t kb = 256;
+    static thread_local std::vector<T> pack;
+    pack.resize(static_cast<std::size_t>(kb * m));
+    for (index_t k0 = 0; k0 < n; k0 += kb) {
+      const index_t kn = std::min(kb, n - k0);
+      for (index_t i = 0; i < m; ++i)
+        for (index_t kk = 0; kk < kn; ++kk)
+          pack[static_cast<std::size_t>(kk * m + i)] = a(i, k0 + kk);
+      for (index_t kk = 0; kk < kn; ++kk) {
+        const T* col = pack.data() + kk * m;
+        for (index_t i = 0; i < m; ++i) {
+          const T av = alpha * col[i];
+          T* crow = &c(i, 0);
+          for (index_t j = 0; j <= i; ++j) crow[j] += av * col[j];
+        }
+      }
+    }
+  }
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = i + 1; j < m; ++j) c(i, j) = c(j, i);
+}
+
+}  // namespace tucker::blas

@@ -1,0 +1,66 @@
+#pragma once
+// Owning dense matrix, row-major storage.
+//
+// The library's working buffers (Gram matrices, triangular factors, factor
+// matrices) are Matrix<T>; all computation happens through MatView so the
+// same kernels serve row-major, column-major and transposed data.
+
+#include <utility>
+#include <vector>
+
+#include "blas/matview.hpp"
+
+namespace tucker::blas {
+
+template <class T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols)) {
+    TUCKER_CHECK(rows >= 0 && cols >= 0, "Matrix: negative dimension");
+  }
+
+  static Matrix identity(index_t n) {
+    Matrix m(n, n);
+    for (index_t i = 0; i < n; ++i) m(i, i) = T(1);
+    return m;
+  }
+
+  /// Deep copy of an arbitrary view into owned row-major storage.
+  static Matrix from(MatView<const T> v) {
+    Matrix m(v.rows(), v.cols());
+    copy(v, m.view());
+    return m;
+  }
+
+  T& operator()(index_t i, index_t j) {
+    TUCKER_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                  "Matrix index out of range");
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  const T& operator()(index_t i, index_t j) const {
+    TUCKER_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                  "Matrix index out of range");
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  MatView<T> view() { return MatView<T>::row_major(data(), rows_, cols_); }
+  MatView<const T> view() const {
+    return MatView<const T>::row_major(data(), rows_, cols_);
+  }
+  MatView<const T> cview() const { return view(); }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace tucker::blas

@@ -1,0 +1,88 @@
+#pragma once
+// Non-owning strided matrix views.
+//
+// Tensor unfoldings appear in this codebase as row-major blocks, column-major
+// panels, and transposed aliases of each other (paper Sec 3.3). Rather than
+// duplicating every kernel per layout, all BLAS/LAPACK routines operate on a
+// MatView with independent row and column strides; (row-major, column-major,
+// transpose, submatrix) are all just views. Kernels detect unit-stride inner
+// dimensions and take vectorizable fast paths.
+
+#include <cstddef>
+
+#include "common/check.hpp"
+
+namespace tucker::blas {
+
+using index_t = std::ptrdiff_t;
+
+template <class T>
+class MatView {
+ public:
+  MatView() = default;
+  MatView(T* data, index_t rows, index_t cols, index_t row_stride,
+          index_t col_stride)
+      : data_(data),
+        rows_(rows),
+        cols_(cols),
+        rs_(row_stride),
+        cs_(col_stride) {}
+
+  /// Row-major view with leading dimension `ld` (>= cols).
+  static MatView row_major(T* data, index_t rows, index_t cols, index_t ld) {
+    TUCKER_DCHECK(ld >= cols, "row-major leading dimension too small");
+    return MatView(data, rows, cols, ld, 1);
+  }
+  static MatView row_major(T* data, index_t rows, index_t cols) {
+    return row_major(data, rows, cols, cols);
+  }
+
+  /// Column-major view with leading dimension `ld` (>= rows).
+  static MatView col_major(T* data, index_t rows, index_t cols, index_t ld) {
+    TUCKER_DCHECK(ld >= rows, "col-major leading dimension too small");
+    return MatView(data, rows, cols, 1, ld);
+  }
+  static MatView col_major(T* data, index_t rows, index_t cols) {
+    return col_major(data, rows, cols, rows);
+  }
+
+  T& operator()(index_t i, index_t j) const {
+    TUCKER_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                  "MatView index out of range");
+    return data_[i * rs_ + j * cs_];
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t row_stride() const { return rs_; }
+  index_t col_stride() const { return cs_; }
+  T* data() const { return data_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  /// View of the transpose (no data movement).
+  MatView t() const { return MatView(data_, cols_, rows_, cs_, rs_); }
+
+  /// View of the block with top-left corner (i0, j0) and shape (r, c).
+  MatView block(index_t i0, index_t j0, index_t r, index_t c) const {
+    TUCKER_DCHECK(i0 >= 0 && j0 >= 0 && i0 + r <= rows_ && j0 + c <= cols_,
+                  "MatView block out of range");
+    return MatView(data_ + i0 * rs_ + j0 * cs_, r, c, rs_, cs_);
+  }
+
+  MatView row(index_t i) const { return block(i, 0, 1, cols_); }
+  MatView col(index_t j) const { return block(0, j, rows_, 1); }
+
+  /// Const view of the same data.
+  operator MatView<const T>() const {
+    return MatView<const T>(data_, rows_, cols_, rs_, cs_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t rs_ = 0;
+  index_t cs_ = 0;
+};
+
+}  // namespace tucker::blas

@@ -1,0 +1,35 @@
+#pragma once
+// Invariant-checking macros.
+//
+// TUCKER_CHECK fires in all build types and is used for programmer errors
+// (dimension mismatches, invalid arguments) whose cost is negligible at call
+// granularity. TUCKER_DCHECK compiles away under NDEBUG and may be used on
+// hot paths. Per the Core Guidelines (E.12, I.6) we fail fast and loudly
+// rather than throwing across the numerical kernels.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tucker::detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "TUCKER_CHECK failed: %s\n  at %s:%d\n  %s\n", cond,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace tucker::detail
+
+#define TUCKER_CHECK(cond, msg)                                      \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::tucker::detail::check_failed(#cond, __FILE__, __LINE__, msg); \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define TUCKER_DCHECK(cond, msg) ((void)0)
+#else
+#define TUCKER_DCHECK(cond, msg) TUCKER_CHECK(cond, msg)
+#endif

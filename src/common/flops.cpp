@@ -1,0 +1,15 @@
+#include "common/flops.hpp"
+
+namespace tucker {
+namespace {
+thread_local std::int64_t t_flops = 0;
+}  // namespace
+
+void add_flops(std::int64_t n) { t_flops += n; }
+std::int64_t thread_flops() { return t_flops; }
+void reset_thread_flops() { t_flops = 0; }
+
+FlopScope::FlopScope() : start_(t_flops) {}
+std::int64_t FlopScope::flops() const { return t_flops - start_; }
+
+}  // namespace tucker

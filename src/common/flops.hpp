@@ -1,0 +1,33 @@
+#pragma once
+// Thread-local floating-point-operation accounting.
+//
+// The BLAS/LAPACK kernels credit their nominal flop counts here so the
+// benchmark harness can report GFLOPS-per-rank figures (paper Fig 3a) and
+// verify the ~2x QR-vs-Gram flop ratio from the complexity analysis in
+// Sec 3.5 without instrumenting every loop.
+
+#include <cstdint>
+
+namespace tucker {
+
+/// Add `n` to the calling thread's flop counter.
+void add_flops(std::int64_t n);
+
+/// Flops recorded by the calling thread since the last reset.
+std::int64_t thread_flops();
+
+/// Zero the calling thread's flop counter.
+void reset_thread_flops();
+
+/// RAII scope that reports the flops accumulated during its lifetime.
+class FlopScope {
+ public:
+  FlopScope();
+  /// Flops recorded by this thread since the scope was opened.
+  std::int64_t flops() const;
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace tucker

@@ -1,0 +1,39 @@
+#pragma once
+// Precision traits used throughout the library.
+//
+// The paper's contribution #2 is templating TuckerMPI over the working
+// precision; every numerical component in this library is templated on a
+// real scalar type T and consults these traits for machine epsilon and for
+// the cost-model parameters that depend on word size.
+
+#include <cstddef>
+#include <limits>
+#include <string_view>
+
+namespace tucker {
+
+template <class T>
+struct precision;
+
+template <>
+struct precision<float> {
+  using type = float;
+  static constexpr std::string_view name = "single";
+  // Unit roundoff 2^-24; the paper quotes eps_s = 2^-23 ~ 1e-7 (the gap
+  // between adjacent floats at 1), which is numeric_limits::epsilon().
+  static constexpr float eps = std::numeric_limits<float>::epsilon();
+  static constexpr std::size_t bytes_per_word = sizeof(float);
+};
+
+template <>
+struct precision<double> {
+  using type = double;
+  static constexpr std::string_view name = "double";
+  static constexpr double eps = std::numeric_limits<double>::epsilon();
+  static constexpr std::size_t bytes_per_word = sizeof(double);
+};
+
+template <class T>
+concept Real = std::is_same_v<T, float> || std::is_same_v<T, double>;
+
+}  // namespace tucker

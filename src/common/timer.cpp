@@ -1,0 +1,29 @@
+#include "common/timer.hpp"
+
+#include <ctime>
+
+namespace tucker {
+namespace {
+
+std::int64_t now_ns(clockid_t clock) {
+  timespec ts{};
+  clock_gettime(clock, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+WallTimer::WallTimer() { reset(); }
+void WallTimer::reset() { start_ns_ = now_ns(CLOCK_MONOTONIC); }
+double WallTimer::seconds() const {
+  return static_cast<double>(now_ns(CLOCK_MONOTONIC) - start_ns_) * 1e-9;
+}
+
+ThreadCpuTimer::ThreadCpuTimer() { reset(); }
+void ThreadCpuTimer::reset() { start_ns_ = now_ns(CLOCK_THREAD_CPUTIME_ID); }
+double ThreadCpuTimer::seconds() const {
+  return static_cast<double>(now_ns(CLOCK_THREAD_CPUTIME_ID) - start_ns_) *
+         1e-9;
+}
+
+}  // namespace tucker

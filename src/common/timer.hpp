@@ -1,0 +1,40 @@
+#pragma once
+// Wall-clock and per-thread CPU timers.
+//
+// ThreadCpuTimer reads CLOCK_THREAD_CPUTIME_ID, which charges a thread only
+// for the CPU time it actually consumed. This is the key device that makes
+// the simulated-MPI scaling experiments meaningful on an oversubscribed
+// machine: P rank-threads time-sharing one core each still observe their own
+// true compute time, which the virtual clock then combines with modeled
+// communication costs (see simmpi/cost_model.hpp).
+
+#include <cstdint>
+
+namespace tucker {
+
+/// Monotonic wall-clock timer, seconds.
+class WallTimer {
+ public:
+  WallTimer();
+  void reset();
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const;
+
+ private:
+  std::int64_t start_ns_;
+};
+
+/// Per-thread CPU-time timer, seconds. Only counts time this thread was
+/// actually scheduled, so it is oversubscription-safe.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer();
+  void reset();
+  /// CPU seconds consumed by the calling thread since construction/reset.
+  double seconds() const;
+
+ private:
+  std::int64_t start_ns_;
+};
+
+}  // namespace tucker

@@ -1,0 +1,225 @@
+#pragma once
+// Extensions beyond the paper's evaluated algorithms, implementing its
+// stated future work (Sec 5):
+//
+//  - Mixed-precision Gram-SVD: keep the tensor (and all TTM work) in single
+//    precision but accumulate the Gram matrix and run its eigensolver in
+//    double. The Gram formation no longer floors at sqrt(eps_s): accuracy
+//    becomes limited by the single-precision data itself (~eps_s), i.e.
+//    QR-single-like accuracy at Gram-like cost.
+//  - Randomized range finder (Halko-Martinsson-Tropp): for fixed-rank
+//    truncation, sketch the short-fat unfolding with a Gaussian test
+//    matrix, orthonormalize, and do one subspace iteration. Cost
+//    ~(r+p)/m of the Gram kernel -- the "likely to be competitive"
+//    alternative the paper points to for loose tolerances.
+//  - Greedy mode ordering: when target ranks are known a priori, process
+//    modes by ascending R_n/I_n so the cheapest-to-shrink modes go first
+//    (the tuning knob discussed in Sec 4.2.3).
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "common/rng.hpp"
+#include "core/sthosvd.hpp"
+#include "core/svd_engine.hpp"
+#include "lapack/qr.hpp"
+
+namespace tucker::core {
+
+/// Gram-SVD with double-precision accumulation of the Gram matrix and a
+/// double-precision eigensolver, returning single-precision factors. Only
+/// meaningfully different from gram_svd<float> when T = float.
+template <class T>
+ModeSvd<T> gram_svd_mixed(const tensor::Tensor<T>& y, std::size_t n) {
+  const index_t m = y.dim(n);
+  blas::Matrix<double> g(m, m);
+
+  // Accumulate X_(n) X_(n)^T in double from the working-precision data.
+  auto accumulate = [&](blas::MatView<const T> blk) {
+    for (index_t i = 0; i < blk.rows(); ++i)
+      for (index_t j = 0; j <= i; ++j) {
+        double s = 0;
+        for (index_t c = 0; c < blk.cols(); ++c)
+          s += static_cast<double>(blk(i, c)) *
+               static_cast<double>(blk(j, c));
+        g(i, j) += s;
+      }
+    tucker::add_flops(blk.rows() * (blk.rows() + 1) * blk.cols());
+  };
+  if (n == 0) {
+    accumulate(tensor::unfolding_mode0(y));
+  } else {
+    for (index_t b = 0; b < tensor::unfolding_num_blocks(y, n); ++b)
+      accumulate(tensor::unfolding_block(y, n, b));
+  }
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = i + 1; j < m; ++j) g(i, j) = g(j, i);
+
+  auto eig = la::jacobi_eig(blas::MatView<const double>(g.view()));
+  ModeSvd<T> out;
+  out.sigma_sq.reserve(eig.lambda.size());
+  for (double lam : eig.lambda)
+    out.sigma_sq.push_back(static_cast<T>(std::abs(lam)));
+  out.u = blas::Matrix<T>(m, m);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < m; ++j)
+      out.u(i, j) = static_cast<T>(eig.v(i, j));
+  return out;
+}
+
+/// Randomized range finder for the mode-n unfolding: returns an m x r
+/// orthonormal basis whose range approximates the span of the leading r
+/// left singular vectors (one power iteration, oversampling p). The
+/// squared "singular values" reported are the column energies of the
+/// projected data -- adequate for fixed-rank use, not for tolerance-driven
+/// rank selection.
+template <class T>
+ModeSvd<T> randomized_svd(const tensor::Tensor<T>& y, std::size_t n,
+                          index_t rank, index_t oversample = 8,
+                          std::uint64_t seed = 0x5eed) {
+  const index_t m = y.dim(n);
+  const index_t cols =
+      tensor::prod_before(y.dims(), n) * tensor::prod_after(y.dims(), n);
+  const index_t r = std::min(m, rank + oversample);
+
+  // Sketch S = X_(n) * Omega by streaming the unfolding blocks once:
+  // S (m x r) += blk (m x bc) * Omega_rows (bc x r), with Omega generated
+  // on the fly per global column (deterministic from the seed).
+  Rng rng(seed);
+  blas::Matrix<T> omega(cols, r);
+  for (index_t i = 0; i < cols; ++i)
+    for (index_t j = 0; j < r; ++j) omega(i, j) = rng.normal<T>();
+
+  blas::Matrix<T> s(m, r);
+  const index_t before = tensor::prod_before(y.dims(), n);
+  if (n == 0) {
+    blas::gemm(T(1), tensor::unfolding_mode0(y),
+               blas::MatView<const T>(omega.view()), T(0), s.view());
+  } else {
+    for (index_t b = 0; b < tensor::unfolding_num_blocks(y, n); ++b) {
+      auto blk = tensor::unfolding_block(y, n, b);
+      auto om = omega.view().block(b * before, 0, before, r);
+      blas::gemm(T(1), blk, blas::MatView<const T>(om), T(1), s.view());
+    }
+  }
+
+  // Orthonormalize the sketch: S = Q R, keep Q (m x r).
+  std::vector<T> tau;
+  la::geqrf(s.view(), tau);
+  blas::Matrix<T> q =
+      la::form_q(blas::MatView<const T>(s.view()), tau, std::min(m, r));
+
+  // One pass of subspace refinement: B = Q^T X_(n) (r x cols), then SVD of
+  // the small B^T ... we only need left vectors of X ~ Q * svd(B).U, and
+  // B B^T is r x r: cheap Gram on the projected data (safe: conditioning
+  // of B is ~ that of the leading block, not squared noise).
+  blas::Matrix<T> bbt(q.cols(), q.cols());
+  {
+    blas::Matrix<T> b(q.cols(), cols == 0 ? 0 : cols);
+    if (n == 0) {
+      blas::gemm(T(1), blas::MatView<const T>(q.view().t()),
+                 tensor::unfolding_mode0(y), T(0), b.view());
+    } else {
+      for (index_t blkid = 0; blkid < tensor::unfolding_num_blocks(y, n);
+           ++blkid) {
+        auto blk = tensor::unfolding_block(y, n, blkid);
+        auto bslice = b.view().block(0, blkid * before, q.cols(), before);
+        blas::gemm(T(1), blas::MatView<const T>(q.view().t()), blk, T(0),
+                   bslice);
+      }
+    }
+    blas::syrk(T(1), blas::MatView<const T>(b.view()), T(0), bbt.view());
+  }
+  auto eig = la::jacobi_eig(blas::MatView<const T>(bbt.view()));
+
+  // Left singular vector estimates: U = Q * V_eig, truncated to `rank`.
+  const index_t keep = std::min(rank, q.cols());
+  ModeSvd<T> out;
+  out.u = blas::Matrix<T>(m, keep);
+  blas::gemm(T(1), blas::MatView<const T>(q.view()),
+             blas::MatView<const T>(eig.v.view().block(0, 0, q.cols(), keep)),
+             T(0), out.u.view());
+  out.sigma_sq.reserve(keep);
+  for (index_t i = 0; i < keep; ++i)
+    out.sigma_sq.push_back(std::abs(eig.lambda[static_cast<std::size_t>(i)]));
+  return out;
+}
+
+/// Extended engine selector covering the paper's evaluated methods plus the
+/// future-work variants.
+enum class ExtendedMethod { kGram, kQr, kGramMixed, kRandomized };
+
+/// Greedy mode order for fixed-rank truncation: most-shrinking modes first
+/// (ascending R_n / I_n), which minimizes the data volume seen by later
+/// modes. Falls back to forward order when ranks are unknown.
+inline std::vector<std::size_t> greedy_order(const tensor::Dims& dims,
+                                             const std::vector<index_t>& ranks) {
+  std::vector<std::size_t> order(dims.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (ranks.size() != dims.size()) return order;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return static_cast<double>(ranks[a]) / dims[a] <
+                            static_cast<double>(ranks[b]) / dims[b];
+                   });
+  return order;
+}
+
+/// Sequential ST-HOSVD over the extended engine set (fixed-rank only for
+/// kRandomized, which cannot certify an error tolerance).
+template <class T>
+SthosvdResult<T> sthosvd_extended(const tensor::Tensor<T>& x,
+                                  const TruncationSpec& spec,
+                                  ExtendedMethod method,
+                                  std::vector<std::size_t> order = {}) {
+  if (method == ExtendedMethod::kGram)
+    return sthosvd(x, spec, SvdMethod::kGram, std::move(order));
+  if (method == ExtendedMethod::kQr)
+    return sthosvd(x, spec, SvdMethod::kQr, std::move(order));
+  TUCKER_CHECK(method != ExtendedMethod::kRandomized || spec.is_fixed_rank(),
+               "randomized ST-HOSVD requires fixed ranks");
+
+  const std::size_t nmodes = x.order();
+  if (order.empty()) order = forward_order(nmodes);
+  SthosvdResult<T> out;
+  out.order = order;
+  out.mode_sigmas.resize(nmodes);
+  out.ranks.assign(nmodes, 0);
+  out.norm_squared = x.norm_squared();
+  const double threshold_sq =
+      spec.is_fixed_rank()
+          ? 0
+          : spec.epsilon * spec.epsilon * out.norm_squared /
+                static_cast<double>(nmodes);
+
+  tensor::Tensor<T> y = x;
+  out.tucker.factors.resize(nmodes);
+  for (std::size_t pos = 0; pos < nmodes; ++pos) {
+    const std::size_t n = order[pos];
+    ModeSvd<T> svd =
+        method == ExtendedMethod::kGramMixed
+            ? gram_svd_mixed(y, n)
+            : randomized_svd(y, n,
+                             spec.is_fixed_rank() ? spec.ranks[n] : y.dim(n));
+    std::vector<T>& sig = out.mode_sigmas[n];
+    sig.resize(svd.sigma_sq.size());
+    for (std::size_t i = 0; i < sig.size(); ++i)
+      sig[i] = std::sqrt(svd.sigma_sq[i]);
+    blas::index_t r =
+        spec.is_fixed_rank()
+            ? std::min(spec.ranks[n], svd.u.cols())
+            : std::min(select_rank(svd.sigma_sq, threshold_sq), svd.u.cols());
+    out.ranks[n] = r;
+    blas::Matrix<T> u(y.dim(n), r);
+    blas::copy(blas::MatView<const T>(svd.u.view().block(0, 0, y.dim(n), r)),
+               u.view());
+    y = tensor::ttm(y, n, blas::MatView<const T>(u.view().t()));
+    out.tucker.factors[n] = std::move(u);
+  }
+  out.tucker.core = std::move(y);
+  return out;
+}
+
+}  // namespace tucker::core

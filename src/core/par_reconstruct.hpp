@@ -1,0 +1,59 @@
+#pragma once
+// Distributed reconstruction of a Tucker decomposition.
+//
+// The inverse of the compression pipeline: expand the block-distributed
+// core by every (replicated) factor matrix, mode by mode. Reuses the
+// distributed TTM kernel -- expansion is the same contraction with the
+// factor transposed -- so the result keeps the grid's block distribution at
+// the full dimensions, ready to be written out or compared in place.
+
+#include <vector>
+
+#include "blas/matrix.hpp"
+#include "dist/par_kernels.hpp"
+
+namespace tucker::core {
+
+/// Expands core x_0 U_0 ... x_{N-1} U_{N-1} in distributed form.
+/// `factors[n]` must be the replicated I_n x R_n factor; `core` must be
+/// distributed over the grid the result should live on.
+template <class T>
+dist::DistTensor<T> par_reconstruct(
+    const dist::DistTensor<T>& core,
+    const std::vector<blas::Matrix<T>>& factors) {
+  TUCKER_CHECK(factors.size() == core.order(),
+               "par_reconstruct: one factor per mode");
+  dist::DistTensor<T> y = core.clone();
+  for (std::size_t n = 0; n < factors.size(); ++n) {
+    TUCKER_CHECK(factors[n].cols() == y.global_dim(n),
+                 "par_reconstruct: factor/core dimension mismatch");
+    // Y x_n U_n: contraction over R_n rows with U_n^T passed as the
+    // "truncation" operand (see par_ttm_truncate's convention Y = X x_n U^T).
+    y = dist::par_ttm_truncate(
+        y, n, blas::MatView<const T>(factors[n].view().t()));
+  }
+  return y;
+}
+
+/// Distributed normwise relative error ||x - reconstruct()|| / ||x||,
+/// computed without gathering (allreduce of local squared norms).
+template <class T>
+double par_relative_error(const dist::DistTensor<T>& x,
+                          const dist::DistTensor<T>& core,
+                          const std::vector<blas::Matrix<T>>& factors) {
+  dist::DistTensor<T> xhat = par_reconstruct(core, factors);
+  TUCKER_CHECK(xhat.global_dims() == x.global_dims(),
+               "par_relative_error: shape mismatch");
+  double local[2] = {0, 0};
+  const T* a = x.local().data();
+  const T* b = xhat.local().data();
+  for (blas::index_t i = 0; i < x.local().size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    local[0] += d * d;
+    local[1] += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+  }
+  x.world().allreduce(local, 2, mpi::Op::kSum);
+  return local[1] == 0 ? 0 : std::sqrt(local[0] / local[1]);
+}
+
+}  // namespace tucker::core

@@ -1,0 +1,118 @@
+#pragma once
+// Sequential ST-HOSVD (paper Alg 1), parameterized over the SVD engine
+// (Gram-SVD / QR-SVD), working precision (T), truncation (tolerance or
+// fixed ranks) and mode ordering.
+
+#include <numeric>
+#include <vector>
+
+#include "core/svd_engine.hpp"
+#include "core/truncation.hpp"
+#include "core/tucker_tensor.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/ttm.hpp"
+
+namespace tucker::core {
+
+/// Mode processing orders considered in the paper (Sec 4.2.3): the data's
+/// storage order, forward or backward.
+inline std::vector<std::size_t> forward_order(std::size_t n) {
+  std::vector<std::size_t> o(n);
+  std::iota(o.begin(), o.end(), std::size_t{0});
+  return o;
+}
+
+inline std::vector<std::size_t> backward_order(std::size_t n) {
+  std::vector<std::size_t> o(n);
+  for (std::size_t k = 0; k < n; ++k) o[k] = n - 1 - k;
+  return o;
+}
+
+template <class T>
+struct SthosvdResult {
+  TuckerTensor<T> tucker;
+  /// Per mode (indexed by mode, not processing position): computed singular
+  /// values of that mode's unfolding at the time it was processed.
+  std::vector<std::vector<T>> mode_sigmas;
+  /// Selected rank per mode.
+  std::vector<blas::index_t> ranks;
+  /// Mode processing order used.
+  std::vector<std::size_t> order;
+  /// ||X||^2 of the input (used for the truncation threshold).
+  double norm_squared = 0;
+
+  /// Guaranteed relative-error estimate from the discarded tail energies:
+  /// sqrt(sum_n sum_{i >= R_n} sigma_{n,i}^2) / ||X|| -- what ST-HOSVD can
+  /// certify without reconstructing (TuckerMPI reports the same bound).
+  /// Exact in exact arithmetic; in floating point it is as trustworthy as
+  /// the computed singular values (i.e. down to eps for QR-SVD and sqrt(eps)
+  /// for Gram-SVD, the paper's Sec 3.2).
+  double estimated_relative_error() const {
+    double tail = 0;
+    for (std::size_t n = 0; n < mode_sigmas.size(); ++n) {
+      const auto& sig = mode_sigmas[n];
+      for (std::size_t i = static_cast<std::size_t>(ranks[n]);
+           i < sig.size(); ++i)
+        tail += static_cast<double>(sig[i]) * static_cast<double>(sig[i]);
+    }
+    return norm_squared > 0 ? std::sqrt(tail / norm_squared) : 0.0;
+  }
+};
+
+/// Runs ST-HOSVD on x. `order` may be empty (forward). In tolerance mode
+/// the result satisfies ||X - Xhat|| <= eps ||X|| up to the numerical
+/// accuracy of the chosen SVD engine -- which is the paper's entire story.
+template <class T>
+SthosvdResult<T> sthosvd(const tensor::Tensor<T>& x,
+                         const TruncationSpec& spec, SvdMethod method,
+                         std::vector<std::size_t> order = {}) {
+  const std::size_t nmodes = x.order();
+  if (order.empty()) order = forward_order(nmodes);
+  TUCKER_CHECK(order.size() == nmodes, "sthosvd: order must list every mode");
+  if (spec.is_fixed_rank())
+    TUCKER_CHECK(spec.ranks.size() == nmodes,
+                 "sthosvd: fixed-rank spec needs one rank per mode");
+
+  SthosvdResult<T> out;
+  out.order = order;
+  out.mode_sigmas.resize(nmodes);
+  out.ranks.assign(nmodes, 0);
+  out.norm_squared = x.norm_squared();
+  const double threshold_sq =
+      spec.is_fixed_rank()
+          ? 0
+          : spec.epsilon * spec.epsilon * out.norm_squared /
+                static_cast<double>(nmodes);
+
+  tensor::Tensor<T> y = x;
+  out.tucker.factors.resize(nmodes);
+  for (std::size_t pos = 0; pos < nmodes; ++pos) {
+    const std::size_t n = order[pos];
+    ModeSvd<T> svd = mode_svd(y, n, method);
+
+    std::vector<T>& sig = out.mode_sigmas[n];
+    sig.resize(svd.sigma_sq.size());
+    for (std::size_t i = 0; i < sig.size(); ++i)
+      sig[i] = std::sqrt(svd.sigma_sq[i]);
+
+    blas::index_t r;
+    if (spec.is_fixed_rank()) {
+      r = std::min(spec.ranks[n], svd.u.cols());
+    } else {
+      r = std::min(select_rank(svd.sigma_sq, threshold_sq), svd.u.cols());
+    }
+    out.ranks[n] = r;
+
+    // Factor matrix: leading r left singular vectors.
+    blas::Matrix<T> u(y.dim(n), r);
+    blas::copy(blas::MatView<const T>(svd.u.view().block(0, 0, y.dim(n), r)),
+               u.view());
+    // Truncate: Y <- Y x_n U^T.
+    y = tensor::ttm(y, n, blas::MatView<const T>(u.view().t()));
+    out.tucker.factors[n] = std::move(u);
+  }
+  out.tucker.core = std::move(y);
+  return out;
+}
+
+}  // namespace tucker::core

@@ -1,0 +1,90 @@
+#pragma once
+// The Tucker decomposition object: core tensor + factor matrices.
+
+#include <vector>
+
+#include "blas/matrix.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/ttm.hpp"
+
+namespace tucker::core {
+
+/// X ~ G x_0 U_0 x_1 U_1 ... x_{N-1} U_{N-1}, with G the core tensor
+/// (R_0 x ... x R_{N-1}) and U_n the (I_n x R_n) factor matrices with
+/// orthonormal columns.
+template <class T>
+struct TuckerTensor {
+  tensor::Tensor<T> core;
+  std::vector<blas::Matrix<T>> factors;
+
+  tensor::Dims core_dims() const { return core.dims(); }
+
+  tensor::Dims full_dims() const {
+    tensor::Dims d(factors.size());
+    for (std::size_t n = 0; n < factors.size(); ++n)
+      d[n] = factors[n].rows();
+    return d;
+  }
+
+  /// Number of parameters stored by the decomposition.
+  blas::index_t parameter_count() const {
+    blas::index_t p = core.size();
+    for (const auto& u : factors) p += u.rows() * u.cols();
+    return p;
+  }
+
+  /// Original elements / stored parameters (the paper's compression ratio).
+  double compression_ratio() const {
+    return static_cast<double>(tensor::num_elements(full_dims())) /
+           static_cast<double>(parameter_count());
+  }
+
+  /// Expands the decomposition back to a full tensor: G x_n U_n over all
+  /// modes, in working precision (roundoff here is part of the measured
+  /// approximation error, as in the paper's accuracy tables).
+  tensor::Tensor<T> reconstruct() const {
+    tensor::Tensor<T> y = core;
+    for (std::size_t n = 0; n < factors.size(); ++n)
+      y = tensor::ttm(y, n, blas::MatView<const T>(factors[n].view()));
+    return y;
+  }
+
+  /// Reconstructs only the sub-tensor given by per-mode index ranges
+  /// [lo_n, hi_n) -- a TuckerMPI feature: extracting a region of interest
+  /// costs only the region's share of the TTM work, never materializing the
+  /// full tensor. Pass lo = hi = full range to reproduce reconstruct().
+  tensor::Tensor<T> reconstruct_region(
+      const std::vector<blas::index_t>& lo,
+      const std::vector<blas::index_t>& hi) const {
+    TUCKER_CHECK(lo.size() == factors.size() && hi.size() == factors.size(),
+                 "reconstruct_region: one range per mode");
+    tensor::Tensor<T> y = core;
+    for (std::size_t n = 0; n < factors.size(); ++n) {
+      TUCKER_CHECK(0 <= lo[n] && lo[n] <= hi[n] &&
+                       hi[n] <= factors[n].rows(),
+                   "reconstruct_region: range out of bounds");
+      auto rows = factors[n].view().block(lo[n], 0, hi[n] - lo[n],
+                                          factors[n].cols());
+      y = tensor::ttm(y, n, blas::MatView<const T>(rows));
+    }
+    return y;
+  }
+};
+
+/// Normwise relative error ||x - xhat|| / ||x||, accumulated in double.
+template <class T>
+double relative_error(const tensor::Tensor<T>& x, const TuckerTensor<T>& tk) {
+  tensor::Tensor<T> xhat = tk.reconstruct();
+  TUCKER_CHECK(xhat.dims() == x.dims(), "relative_error: shape mismatch");
+  double diff = 0, ref = 0;
+  const T* a = x.data();
+  const T* b = xhat.data();
+  for (blas::index_t i = 0; i < x.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    diff += d * d;
+    ref += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+  }
+  return ref == 0 ? 0 : std::sqrt(diff / ref);
+}
+
+}  // namespace tucker::core

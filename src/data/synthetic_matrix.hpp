@@ -1,0 +1,88 @@
+#pragma once
+// Synthetic matrix generators with prescribed singular spectra.
+//
+// Fig 1 of the paper evaluates the four (algorithm x precision) variants on
+// an 80x80 matrix with geometrically decaying singular values from 1e0 to
+// 1e-18 and random singular vectors. These helpers build such matrices:
+// A = U * diag(sigma) * V^T with Haar-ish random orthonormal U, V obtained
+// by QR of Gaussian matrices. Generation is always done in double and then
+// rounded to the requested working precision, so all variants see "the
+// same" matrix.
+
+#include <cmath>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/matrix.hpp"
+#include "common/rng.hpp"
+#include "lapack/qr.hpp"
+
+namespace tucker::data {
+
+using blas::index_t;
+using blas::Matrix;
+
+/// m x n matrix of i.i.d. standard normals.
+inline Matrix<double> gaussian_matrix(index_t m, index_t n, Rng& rng) {
+  Matrix<double> a(m, n);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) a(i, j) = rng.normal<double>();
+  return a;
+}
+
+/// m x k matrix with orthonormal columns (k <= m), Haar-distributed up to
+/// sign conventions: Q factor of a Gaussian matrix.
+inline Matrix<double> random_orthonormal(index_t m, index_t k, Rng& rng) {
+  TUCKER_CHECK(k <= m, "random_orthonormal: need k <= m");
+  Matrix<double> a = gaussian_matrix(m, k, rng);
+  std::vector<double> tau;
+  la::geqrf(a.view(), tau);
+  return la::form_q(blas::MatView<const double>(a.view()), tau, k);
+}
+
+/// Geometric ladder of `k` values from `first` down to `last`.
+inline std::vector<double> geometric_spectrum(index_t k, double first,
+                                              double last) {
+  TUCKER_CHECK(k >= 1 && first > 0 && last > 0, "geometric_spectrum: bad args");
+  std::vector<double> s(static_cast<std::size_t>(k));
+  if (k == 1) {
+    s[0] = first;
+    return s;
+  }
+  const double ratio = std::pow(last / first, 1.0 / static_cast<double>(k - 1));
+  double v = first;
+  for (index_t i = 0; i < k; ++i, v *= ratio) s[static_cast<std::size_t>(i)] = v;
+  return s;
+}
+
+/// A = U diag(sigma) V^T with random orthonormal factors; sigma.size() must
+/// be <= min(m, n) (remaining singular values are zero).
+inline Matrix<double> matrix_with_spectrum(index_t m, index_t n,
+                                           const std::vector<double>& sigma,
+                                           std::uint64_t seed) {
+  const auto k = static_cast<index_t>(sigma.size());
+  TUCKER_CHECK(k <= std::min(m, n), "matrix_with_spectrum: too many values");
+  Rng rng(seed);
+  Matrix<double> u = random_orthonormal(m, k, rng);
+  Matrix<double> v = random_orthonormal(n, k, rng);
+  // us = U * diag(sigma)
+  Matrix<double> us(m, k);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < k; ++j)
+      us(i, j) = u(i, j) * sigma[static_cast<std::size_t>(j)];
+  Matrix<double> a(m, n);
+  blas::gemm(1.0, blas::MatView<const double>(us.view()),
+             blas::MatView<const double>(v.view().t()), 0.0, a.view());
+  return a;
+}
+
+/// Rounds a double matrix to working precision T.
+template <class T>
+Matrix<T> round_to(const Matrix<double>& a) {
+  Matrix<T> out(a.rows(), a.cols());
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < a.cols(); ++j) out(i, j) = static_cast<T>(a(i, j));
+  return out;
+}
+
+}  // namespace tucker::data

@@ -1,0 +1,220 @@
+#pragma once
+// Block-distributed dense tensor over a simulated-MPI processor grid.
+//
+// Each rank owns the contiguous subtensor given by the block distribution
+// in every mode (paper Sec 3.4); the local block uses the same mode-0-
+// fastest layout as the sequential Tensor, so local unfolding kernels apply
+// unchanged. Per-mode fiber communicators (ranks differing only in that
+// mode's grid coordinate) are split once and shared across tensors derived
+// by TTM truncation.
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "dist/processor_grid.hpp"
+#include "simmpi/comm.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tucker::dist {
+
+template <class T>
+class DistTensor {
+ public:
+  /// Collective: all ranks of `world` must construct with the same grid and
+  /// global dims. Splits one fiber communicator per mode.
+  DistTensor(mpi::Comm& world, ProcessorGrid grid, Dims global_dims)
+      : world_(&world),
+        grid_(std::move(grid)),
+        global_dims_(std::move(global_dims)),
+        coords_(grid_.coords(world.rank())) {
+    TUCKER_CHECK(grid_.order() == global_dims_.size(),
+                 "DistTensor: grid/tensor order mismatch");
+    TUCKER_CHECK(grid_.total() == world.size(),
+                 "DistTensor: grid size must equal comm size");
+    Dims local(global_dims_.size());
+    for (std::size_t n = 0; n < global_dims_.size(); ++n)
+      local[n] = mode_range(n).size();
+    local_ = tensor::Tensor<T>(local);
+
+    auto comms = std::make_shared<std::vector<mpi::Comm>>();
+    comms->reserve(grid_.order());
+    for (std::size_t n = 0; n < grid_.order(); ++n)
+      comms->push_back(world.split(grid_.fiber_color(coords_, n),
+                                   static_cast<int>(coords_[n])));
+    fiber_comms_ = std::move(comms);
+  }
+
+  DistTensor(DistTensor&&) noexcept = default;
+  DistTensor& operator=(DistTensor&&) noexcept = default;
+  // Copying would duplicate communicator sequence state; use clone().
+  DistTensor(const DistTensor&) = delete;
+  DistTensor& operator=(const DistTensor&) = delete;
+
+  /// Deep copy of the local data sharing grid and fiber communicators.
+  DistTensor clone() const { return DistTensor(*this, local_); }
+
+  /// A tensor with the same distribution but mode n resized to new_dim
+  /// (used by TTM truncation); local data default-initialized.
+  DistTensor with_mode_dim(std::size_t n, index_t new_dim) const {
+    Dims g = global_dims_;
+    g[n] = new_dim;
+    DistTensor out(*this, tensor::Tensor<T>{}, std::move(g));
+    Dims local(out.order());
+    for (std::size_t k = 0; k < out.order(); ++k)
+      local[k] = out.mode_range(k).size();
+    out.local_ = tensor::Tensor<T>(local);
+    return out;
+  }
+
+  mpi::Comm& world() const { return *world_; }
+  const ProcessorGrid& grid() const { return grid_; }
+  const Dims& global_dims() const { return global_dims_; }
+  index_t global_dim(std::size_t n) const { return global_dims_[n]; }
+  std::size_t order() const { return global_dims_.size(); }
+  const std::vector<index_t>& coords() const { return coords_; }
+  tensor::Tensor<T>& local() { return local_; }
+  const tensor::Tensor<T>& local() const { return local_; }
+  mpi::Comm& fiber_comm(std::size_t n) const { return (*fiber_comms_)[n]; }
+
+  /// Global index range this rank owns in mode n.
+  Range mode_range(std::size_t n) const {
+    return block_range(global_dims_[n], grid_.dim(n), coords_[n]);
+  }
+
+  /// Fills the local block from a function of the *global* multi-index.
+  void fill(const std::function<T(const std::vector<index_t>&)>& fn) {
+    std::vector<index_t> global(order());
+    for (index_t lin = 0; lin < local_.size(); ++lin) {
+      auto idx = local_.multi_index(lin);
+      for (std::size_t n = 0; n < order(); ++n)
+        global[n] = mode_range(n).lo + idx[n];
+      local_.data()[lin] = fn(global);
+    }
+  }
+
+  /// Scatters a full tensor held on every rank (tests / small inputs):
+  /// each rank simply copies out its own block.
+  void fill_from(const tensor::Tensor<T>& full) {
+    TUCKER_CHECK(full.dims() == global_dims_, "fill_from: dims mismatch");
+    fill([&](const std::vector<index_t>& g) { return full(g); });
+  }
+
+  /// Collective: distributes a full tensor held only on rank 0 (other
+  /// ranks may pass an empty tensor); each rank receives its block. The
+  /// inverse of gather_to_root().
+  void scatter_from_root(const tensor::Tensor<T>& full) {
+    const int p = world_->size();
+    constexpr int kTag = 971;
+    if (world_->rank() == 0) {
+      TUCKER_CHECK(full.dims() == global_dims_,
+                   "scatter_from_root: dims mismatch");
+      std::vector<T> pack;
+      for (int r = p - 1; r >= 0; --r) {
+        const auto rc = grid_.coords(r);
+        Dims rlocal(order());
+        std::vector<index_t> rlo(order());
+        for (std::size_t k = 0; k < order(); ++k) {
+          Range range = block_range(global_dims_[k], grid_.dim(k), rc[k]);
+          rlocal[k] = range.size();
+          rlo[k] = range.lo;
+        }
+        tensor::Tensor<T> shape(rlocal);
+        pack.resize(static_cast<std::size_t>(shape.size()));
+        std::vector<index_t> g(order());
+        for (index_t lin = 0; lin < shape.size(); ++lin) {
+          auto idx = shape.multi_index(lin);
+          for (std::size_t k = 0; k < order(); ++k) g[k] = rlo[k] + idx[k];
+          pack[static_cast<std::size_t>(lin)] = full(g);
+        }
+        if (r == 0) {
+          std::copy(pack.begin(), pack.end(), local_.data());
+        } else {
+          world_->send(r, pack.data(), shape.size(), kTag);
+        }
+      }
+    } else {
+      world_->recv(0, local_.data(), local_.size(), kTag);
+    }
+  }
+
+  /// Global squared Frobenius norm (allreduce over the world comm).
+  double norm_squared() const {
+    double s = local_.norm_squared();
+    world_->allreduce(&s, 1, mpi::Op::kSum);
+    return s;
+  }
+
+  /// Collects the distributed tensor on rank 0 (others get an empty
+  /// tensor). For tests and small outputs only.
+  tensor::Tensor<T> gather_to_root() const {
+    const int p = world_->size();
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r)
+      counts[static_cast<std::size_t>(r)] = local_count_of(r);
+    std::int64_t total = 0;
+    for (auto c : counts) total += c;
+
+    std::vector<T> flat(world_->rank() == 0 ? static_cast<std::size_t>(total)
+                                            : 0);
+    world_->gatherv(local_.data(), local_.size(), flat.data(), counts, 0);
+    if (world_->rank() != 0) return tensor::Tensor<T>{};
+
+    tensor::Tensor<T> full(global_dims_);
+    std::int64_t offset = 0;
+    for (int r = 0; r < p; ++r) {
+      const auto rc = grid_.coords(r);
+      Dims rlocal(order());
+      std::vector<index_t> rlo(order());
+      for (std::size_t n = 0; n < order(); ++n) {
+        Range range = block_range(global_dims_[n], grid_.dim(n), rc[n]);
+        rlocal[n] = range.size();
+        rlo[n] = range.lo;
+      }
+      tensor::Tensor<T> shape(rlocal);  // for multi_index arithmetic
+      std::vector<index_t> g(order());
+      for (index_t lin = 0; lin < shape.size(); ++lin) {
+        auto idx = shape.multi_index(lin);
+        for (std::size_t n = 0; n < order(); ++n) g[n] = rlo[n] + idx[n];
+        full(g) = flat[static_cast<std::size_t>(offset + lin)];
+      }
+      offset += shape.size();
+    }
+    return full;
+  }
+
+ private:
+  DistTensor(const DistTensor& proto, tensor::Tensor<T> local)
+      : world_(proto.world_),
+        grid_(proto.grid_),
+        global_dims_(proto.global_dims_),
+        coords_(proto.coords_),
+        local_(std::move(local)),
+        fiber_comms_(proto.fiber_comms_) {}
+
+  DistTensor(const DistTensor& proto, tensor::Tensor<T> local, Dims gdims)
+      : world_(proto.world_),
+        grid_(proto.grid_),
+        global_dims_(std::move(gdims)),
+        coords_(proto.coords_),
+        local_(std::move(local)),
+        fiber_comms_(proto.fiber_comms_) {}
+
+  std::int64_t local_count_of(int rank) const {
+    const auto rc = grid_.coords(rank);
+    std::int64_t n = 1;
+    for (std::size_t k = 0; k < order(); ++k)
+      n *= block_range(global_dims_[k], grid_.dim(k), rc[k]).size();
+    return n;
+  }
+
+  mpi::Comm* world_;
+  ProcessorGrid grid_;
+  Dims global_dims_;
+  std::vector<index_t> coords_;
+  tensor::Tensor<T> local_;
+  std::shared_ptr<std::vector<mpi::Comm>> fiber_comms_;
+};
+
+}  // namespace tucker::dist

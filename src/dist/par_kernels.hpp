@@ -1,0 +1,224 @@
+#pragma once
+// Distributed kernels of parallel ST-HOSVD: the Gram matrix of an unfolding
+// (TuckerMPI's approach, [6] Alg 4), the LQ of an unfolding via butterfly
+// TSQR (paper Alg 3), and the TTM truncation with fiber reduction.
+
+#include <string>
+#include <vector>
+
+#include "blas/blas1.hpp"
+#include "blas/matrix.hpp"
+#include "dist/dist_tensor.hpp"
+#include "dist/redistribute.hpp"
+#include "lapack/qr.hpp"
+#include "lapack/tpqrt.hpp"
+#include "tensor/gram.hpp"
+#include "tensor/tensor_lq.hpp"
+#include "tensor/ttm.hpp"
+
+namespace tucker::dist {
+
+namespace detail {
+
+/// Packs the lower triangle (including diagonal) of an m x m matrix.
+template <class T>
+void pack_lower(const blas::Matrix<T>& l, std::vector<T>& buf) {
+  const index_t m = l.rows();
+  buf.resize(static_cast<std::size_t>(m * (m + 1) / 2));
+  std::size_t k = 0;
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j <= i; ++j) buf[k++] = l(i, j);
+}
+
+template <class T>
+void unpack_lower(const std::vector<T>& buf, blas::Matrix<T>& l) {
+  const index_t m = l.rows();
+  std::size_t k = 0;
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j <= i; ++j) l(i, j) = buf[k++];
+    for (index_t j = i + 1; j < m; ++j) l(i, j) = T(0);
+  }
+}
+
+/// Merges two lower-triangular factors: first <- L factor of LQ([first
+/// second]), exploiting that both blocks are triangular (paper Sec 3.4).
+/// `second` is destroyed (overwritten with reflectors).
+template <class T>
+void merge_triangles(blas::Matrix<T>& first, blas::Matrix<T>& second) {
+  std::vector<T> tau;
+  la::tplqt(first.view(), second.view(), tau, la::Pentagon::kTriangular);
+  // Clear any reflector fill above the diagonal is unnecessary: tplqt only
+  // writes the lower triangle of `first`.
+}
+
+/// Butterfly (all-reduce style) TSQR reduction over lower-triangular
+/// factors: on return every rank of `comm` holds the triangular factor of
+/// the stacked global matrix. Non-power-of-two sizes fold the excess ranks
+/// into the largest power-of-two subset first and fan the result back out.
+template <class T>
+void butterfly_lq_reduce(blas::Matrix<T>& l, mpi::Comm& comm) {
+  const int p = comm.size();
+  if (p == 1) return;
+  const index_t m = l.rows();
+  const int rank = comm.rank();
+  int pof2 = 1;
+  while (pof2 * 2 <= p) pof2 *= 2;
+
+  std::vector<T> sendbuf, recvbuf;
+  const std::int64_t tlen = m * (m + 1) / 2;
+  blas::Matrix<T> other(m, m);
+
+  constexpr int kFoldTag = 901, kUnfoldTag = 902, kStepTag = 910;
+
+  if (rank >= pof2) {
+    // Excess rank: contribute my triangle, then wait for the result.
+    pack_lower(l, sendbuf);
+    comm.send(rank - pof2, sendbuf.data(), tlen, kFoldTag);
+    recvbuf.resize(static_cast<std::size_t>(tlen));
+    comm.recv(rank - pof2, recvbuf.data(), tlen, kUnfoldTag);
+    unpack_lower(recvbuf, l);
+    return;
+  }
+  if (rank + pof2 < p) {
+    recvbuf.resize(static_cast<std::size_t>(tlen));
+    comm.recv(rank + pof2, recvbuf.data(), tlen, kFoldTag);
+    unpack_lower(recvbuf, other);
+    merge_triangles(l, other);  // lower world-rank's factor goes first
+  }
+
+  for (int mask = 1, step = 0; mask < pof2; mask <<= 1, ++step) {
+    const int partner = rank ^ mask;
+    pack_lower(l, sendbuf);
+    recvbuf.resize(static_cast<std::size_t>(tlen));
+    comm.sendrecv(partner, sendbuf.data(), tlen, recvbuf.data(), tlen,
+                  kStepTag + step);
+    unpack_lower(recvbuf, other);
+    if (rank < partner) {
+      merge_triangles(l, other);
+    } else {
+      // Both partners compute LQ([L_low L_high]) so the reduction yields a
+      // bitwise-identical factor everywhere.
+      merge_triangles(other, l);
+      l = other;
+    }
+  }
+
+  if (rank + pof2 < p) {
+    pack_lower(l, sendbuf);
+    comm.send(rank + pof2, sendbuf.data(), tlen, kUnfoldTag);
+  }
+}
+
+}  // namespace detail
+
+/// Gram matrix of the global mode-n unfolding, replicated on every rank:
+/// local syrk (after fiber redistribution when P_n > 1) plus a world
+/// allreduce. This is TuckerMPI's kernel; its cost is n*m^2 local flops.
+template <class T>
+blas::Matrix<T> par_gram(const DistTensor<T>& y, std::size_t n) {
+  const index_t m = y.global_dim(n);
+  blas::Matrix<T> g(m, m);
+  if (y.grid().dim(n) == 1) {
+    if (y.local().size() > 0) g = tensor::gram_of_unfolding(y.local(), n);
+  } else {
+    ColMatrix<T> z = redistribute_unfolding(y, n);
+    if (z.cols > 0)
+      blas::syrk(T(1), static_cast<blas::MatView<const T>>(z.view()), T(0),
+                 g.view());
+  }
+  y.world().allreduce(g.data(), m * m, mpi::Op::kSum);
+  y.world().sync_cpu_clock();  // attribute trailing compute to this region
+  return g;
+}
+
+/// Triangular LQ factor of the global mode-n unfolding, replicated on every
+/// rank (paper Alg 3): local LQ tailored to the data layout, then a
+/// butterfly TSQR reduction over all ranks. The result is the m x m lower
+/// triangle; ranks whose local slice was tall contribute zero-padded
+/// triangles (paper Sec 3.4). Costs ~2*n*m^2 local flops -- twice Gram.
+template <class T>
+blas::Matrix<T> par_tensor_lq(const DistTensor<T>& y, std::size_t n) {
+  const index_t m = y.global_dim(n);
+  blas::Matrix<T> l(m, m);
+  if (y.grid().dim(n) == 1) {
+    if (y.local().size() > 0) {
+      blas::Matrix<T> lt = tensor::tensor_lq(y.local(), n);
+      blas::copy(blas::MatView<const T>(lt.view()),
+                 l.view().block(0, 0, lt.rows(), lt.cols()));
+    }
+  } else {
+    ColMatrix<T> z = redistribute_unfolding(y, n);
+    if (z.cols > 0) {
+      std::vector<T> tau;
+      la::gelqf(z.view(), tau);
+      blas::Matrix<T> lt = la::extract_l<T>(blas::MatView<const T>(z.view()));
+      blas::copy(blas::MatView<const T>(lt.view()),
+                 l.view().block(0, 0, lt.rows(), lt.cols()));
+    }
+  }
+  detail::butterfly_lq_reduce(l, y.world());
+  y.world().sync_cpu_clock();  // attribute trailing compute to this region
+  return l;
+}
+
+/// Distributed TTM truncation: Y = X x_n U^T where U (I_n x R) is
+/// replicated. Local partial products with the owned row slice of U, a
+/// fiber reduction, and extraction of the owned slice of the R rows keep
+/// the block distribution (same grid, mode-n dimension now R).
+template <class T>
+DistTensor<T> par_ttm_truncate(const DistTensor<T>& x, std::size_t n,
+                               blas::MatView<const T> u) {
+  TUCKER_CHECK(u.rows() == x.global_dim(n), "par_ttm: U row mismatch");
+  const index_t r = u.cols();
+  DistTensor<T> out = x.with_mode_dim(n, r);
+
+  // Partial product with my row slice of U: tmp = X_loc x_n (U_rows)^T,
+  // giving all R rows of my column set.
+  const Range rows = x.mode_range(n);
+  auto usub = u.block(rows.lo, 0, rows.size(), r);
+  tensor::Tensor<T> tmp =
+      tensor::ttm(x.local(), n, blas::MatView<const T>(usub.t()));
+
+  const index_t pn = x.grid().dim(n);
+  if (pn > 1 && tmp.size() > 0) {
+    // Reduce-scatter across the fiber: sum the partials and leave each rank
+    // exactly its block of the R rows (TuckerMPI's approach). Pack the
+    // partial so each destination's rows are contiguous; the received block
+    // is already in the output tensor's natural layout.
+    mpi::Comm& fiber = x.fiber_comm(n);
+    const index_t before = tensor::prod_before(tmp.dims(), n);
+    const index_t nblocks = tensor::unfolding_num_blocks(tmp, n);
+    std::vector<T> sendbuf(static_cast<std::size_t>(tmp.size()));
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(pn));
+    {
+      std::int64_t off = 0;
+      for (index_t q = 0; q < pn; ++q) {
+        const Range qr = block_range(r, pn, q);
+        counts[static_cast<std::size_t>(q)] = qr.size() * before * nblocks;
+        for (index_t j = 0; j < nblocks; ++j) {
+          auto blk = tensor::unfolding_block(tmp, n, j);
+          for (index_t i = qr.lo; i < qr.hi; ++i)
+            for (index_t c = 0; c < before; ++c)
+              sendbuf[static_cast<std::size_t>(off++)] = blk(i, c);
+        }
+      }
+    }
+    fiber.reduce_scatter(sendbuf.data(), out.local().data(), counts);
+    return out;
+  }
+
+  // P_n == 1 (or empty): keep my block slice of the R rows directly.
+  const Range orows = out.mode_range(n);
+  const index_t nblocks = tensor::unfolding_num_blocks(out.local(), n);
+  for (index_t j = 0; j < nblocks; ++j) {
+    auto src = tensor::unfolding_block(tmp, n, j);
+    auto dst = tensor::unfolding_block(out.local(), n, j);
+    if (dst.rows() > 0 && dst.cols() > 0)
+      blas::copy(blas::MatView<const T>(
+                     src.block(orows.lo, 0, orows.size(), src.cols())),
+                 dst);
+  }
+  return out;
+}
+
+}  // namespace tucker::dist

@@ -1,0 +1,164 @@
+#pragma once
+// Distributed per-slice statistics and normalization.
+//
+// The parallel counterpart of tensor/preprocess.hpp (TuckerMPI computes its
+// dataset statistics and normalization in parallel before compressing):
+// each rank accumulates moments over its local block per *global* slice
+// index, a world allreduce combines them, and the normalization is applied
+// locally -- no data movement beyond the O(I_n) statistics vectors.
+
+#include <limits>
+#include <vector>
+
+#include "dist/dist_tensor.hpp"
+#include "tensor/preprocess.hpp"
+
+namespace tucker::dist {
+
+/// Statistics for every global slice of mode n (identical on all ranks).
+template <class T>
+std::vector<tensor::SliceStats> par_slice_statistics(const DistTensor<T>& x,
+                                                     std::size_t n) {
+  TUCKER_CHECK(n < x.order(), "par_slice_statistics: mode out of range");
+  const index_t slices = x.global_dim(n);
+  // Packed accumulators: [min | max | sum | sumsq] per slice.
+  std::vector<double> acc(static_cast<std::size_t>(4 * slices));
+  for (index_t s = 0; s < slices; ++s) {
+    acc[static_cast<std::size_t>(4 * s)] =
+        std::numeric_limits<double>::infinity();
+    acc[static_cast<std::size_t>(4 * s + 1)] =
+        -std::numeric_limits<double>::infinity();
+  }
+
+  const Range mine = x.mode_range(n);
+  const tensor::Tensor<T>& loc = x.local();
+  if (loc.size() > 0) {
+    for (index_t j = 0; j < tensor::unfolding_num_blocks(loc, n); ++j) {
+      auto blk = tensor::unfolding_block(loc, n, j);
+      for (index_t i = 0; i < blk.rows(); ++i) {
+        const auto s = static_cast<std::size_t>(4 * (mine.lo + i));
+        for (index_t c = 0; c < blk.cols(); ++c) {
+          const double v = static_cast<double>(blk(i, c));
+          acc[s] = std::min(acc[s], v);
+          acc[s + 1] = std::max(acc[s + 1], v);
+          acc[s + 2] += v;
+          acc[s + 3] += v * v;
+        }
+      }
+    }
+  }
+
+  // Combine: min and max need min/max reductions, sums need a sum; pack the
+  // mins negated so one kMin pass would not suffice -- use three targeted
+  // allreduces over contiguous strided copies instead.
+  std::vector<double> mins(static_cast<std::size_t>(slices)),
+      maxs(static_cast<std::size_t>(slices)),
+      sums(static_cast<std::size_t>(2 * slices));
+  for (index_t s = 0; s < slices; ++s) {
+    mins[static_cast<std::size_t>(s)] = acc[static_cast<std::size_t>(4 * s)];
+    maxs[static_cast<std::size_t>(s)] =
+        acc[static_cast<std::size_t>(4 * s + 1)];
+    sums[static_cast<std::size_t>(2 * s)] =
+        acc[static_cast<std::size_t>(4 * s + 2)];
+    sums[static_cast<std::size_t>(2 * s + 1)] =
+        acc[static_cast<std::size_t>(4 * s + 3)];
+  }
+  x.world().allreduce(mins.data(), slices, mpi::Op::kMin);
+  x.world().allreduce(maxs.data(), slices, mpi::Op::kMax);
+  x.world().allreduce(sums.data(), 2 * slices, mpi::Op::kSum);
+
+  double count = 1;
+  for (std::size_t k = 0; k < x.order(); ++k)
+    if (k != n) count *= static_cast<double>(x.global_dim(k));
+
+  std::vector<tensor::SliceStats> stats(static_cast<std::size_t>(slices));
+  for (index_t s = 0; s < slices; ++s) {
+    auto& st = stats[static_cast<std::size_t>(s)];
+    st.min = mins[static_cast<std::size_t>(s)];
+    st.max = maxs[static_cast<std::size_t>(s)];
+    if (count > 0) {
+      st.mean = sums[static_cast<std::size_t>(2 * s)] / count;
+      st.variance = std::max(
+          0.0, sums[static_cast<std::size_t>(2 * s + 1)] / count -
+                   st.mean * st.mean);
+    }
+  }
+  return stats;
+}
+
+/// Normalizes the distributed tensor in place along mode n; the returned
+/// transform is identical on every rank (statistics are allreduced).
+template <class T>
+tensor::SliceTransform par_normalize_slices(DistTensor<T>& x, std::size_t n,
+                                            tensor::Normalization kind) {
+  auto stats = par_slice_statistics(x, n);
+  tensor::SliceTransform tr;
+  tr.mode = n;
+  tr.shift.resize(stats.size(), 0.0);
+  tr.scale.resize(stats.size(), 1.0);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const auto& st = stats[i];
+    switch (kind) {
+      case tensor::Normalization::kNone:
+        break;
+      case tensor::Normalization::kStandardCentering: {
+        tr.shift[i] = st.mean;
+        const double sd = st.stddev();
+        tr.scale[i] = sd > 0 ? 1.0 / sd : 1.0;
+        break;
+      }
+      case tensor::Normalization::kMinMax: {
+        tr.shift[i] = st.min;
+        const double spread = st.max - st.min;
+        tr.scale[i] = spread > 0 ? 1.0 / spread : 1.0;
+        break;
+      }
+      case tensor::Normalization::kMax: {
+        const double amax = std::max(std::abs(st.min), std::abs(st.max));
+        tr.scale[i] = amax > 0 ? 1.0 / amax : 1.0;
+        break;
+      }
+    }
+  }
+
+  const Range mine = x.mode_range(n);
+  tensor::Tensor<T>& loc = x.local();
+  if (loc.size() > 0) {
+    for (index_t j = 0; j < tensor::unfolding_num_blocks(loc, n); ++j) {
+      auto blk = tensor::unfolding_block(loc, n, j);
+      for (index_t i = 0; i < blk.rows(); ++i) {
+        const auto s = static_cast<std::size_t>(mine.lo + i);
+        const T shift = static_cast<T>(tr.shift[s]);
+        const T scale = static_cast<T>(tr.scale[s]);
+        for (index_t c = 0; c < blk.cols(); ++c)
+          blk(i, c) = (blk(i, c) - shift) * scale;
+      }
+    }
+  }
+  return tr;
+}
+
+/// Undoes par_normalize_slices on a distributed tensor (e.g. a
+/// reconstruction) with the same global mode-n extent.
+template <class T>
+void par_denormalize_slices(DistTensor<T>& x,
+                            const tensor::SliceTransform& tr) {
+  const std::size_t n = tr.mode;
+  TUCKER_CHECK(static_cast<index_t>(tr.shift.size()) == x.global_dim(n),
+               "par_denormalize_slices: transform size mismatch");
+  const Range mine = x.mode_range(n);
+  tensor::Tensor<T>& loc = x.local();
+  if (loc.size() == 0) return;
+  for (index_t j = 0; j < tensor::unfolding_num_blocks(loc, n); ++j) {
+    auto blk = tensor::unfolding_block(loc, n, j);
+    for (index_t i = 0; i < blk.rows(); ++i) {
+      const auto s = static_cast<std::size_t>(mine.lo + i);
+      const T shift = static_cast<T>(tr.shift[s]);
+      const T inv = static_cast<T>(1.0 / tr.scale[s]);
+      for (index_t c = 0; c < blk.cols(); ++c)
+        blk(i, c) = blk(i, c) * inv + shift;
+    }
+  }
+}
+
+}  // namespace tucker::dist

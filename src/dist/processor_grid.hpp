@@ -1,0 +1,97 @@
+#pragma once
+// N-dimensional processor grid and block distribution (paper Sec 3.4,
+// following TuckerMPI).
+//
+// Processors are arranged in a grid with as many modes as the tensor;
+// linearization matches the tensor layout (mode 0 fastest). The tensor is
+// distributed in block fashion: in mode n the first (I_n mod P_n) grid
+// coordinates own ceil(I_n/P_n) indices and the rest own floor(I_n/P_n) --
+// the paper's uneven-division rule.
+
+#include <vector>
+
+#include "blas/matview.hpp"
+#include "common/check.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tucker::dist {
+
+using blas::index_t;
+using tensor::Dims;
+
+/// Contiguous index range [lo, hi).
+struct Range {
+  index_t lo = 0;
+  index_t hi = 0;
+  index_t size() const { return hi - lo; }
+};
+
+/// Block-distribution range for coordinate p of P over dimension len:
+/// first (len mod P) coordinates get the ceiling share.
+inline Range block_range(index_t len, index_t nparts, index_t p) {
+  TUCKER_CHECK(nparts >= 1 && p >= 0 && p < nparts, "block_range: bad part");
+  const index_t base = len / nparts;
+  const index_t extra = len % nparts;
+  Range r;
+  if (p < extra) {
+    r.lo = p * (base + 1);
+    r.hi = r.lo + base + 1;
+  } else {
+    r.lo = extra * (base + 1) + (p - extra) * base;
+    r.hi = r.lo + base;
+  }
+  return r;
+}
+
+class ProcessorGrid {
+ public:
+  ProcessorGrid() = default;
+  explicit ProcessorGrid(Dims pdims) : pdims_(std::move(pdims)) {
+    for (index_t p : pdims_)
+      TUCKER_CHECK(p >= 1, "ProcessorGrid: dims must be >= 1");
+  }
+
+  std::size_t order() const { return pdims_.size(); }
+  const Dims& dims() const { return pdims_; }
+  index_t dim(std::size_t n) const { return pdims_[n]; }
+  int total() const { return static_cast<int>(tensor::num_elements(pdims_)); }
+
+  /// Grid coordinates of a linear rank (mode 0 fastest).
+  std::vector<index_t> coords(int rank) const {
+    TUCKER_CHECK(rank >= 0 && rank < total(), "ProcessorGrid: rank range");
+    std::vector<index_t> c(pdims_.size());
+    index_t r = rank;
+    for (std::size_t k = 0; k < pdims_.size(); ++k) {
+      c[k] = r % pdims_[k];
+      r /= pdims_[k];
+    }
+    return c;
+  }
+
+  int rank_of(const std::vector<index_t>& c) const {
+    TUCKER_CHECK(c.size() == pdims_.size(), "ProcessorGrid: coord arity");
+    index_t r = 0;
+    for (std::size_t k = pdims_.size(); k-- > 0;) {
+      TUCKER_DCHECK(c[k] >= 0 && c[k] < pdims_[k],
+                    "ProcessorGrid: coord range");
+      r = r * pdims_[k] + c[k];
+    }
+    return static_cast<int>(r);
+  }
+
+  /// Identifier of the mode-n fiber containing `c` (same for all ranks
+  /// differing only in coordinate n); usable as a split color.
+  int fiber_color(const std::vector<index_t>& c, std::size_t n) const {
+    index_t color = 0;
+    for (std::size_t k = pdims_.size(); k-- > 0;) {
+      if (k == n) continue;
+      color = color * pdims_[k] + c[k];
+    }
+    return static_cast<int>(color);
+  }
+
+ private:
+  Dims pdims_;
+};
+
+}  // namespace tucker::dist

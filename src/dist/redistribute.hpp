@@ -1,0 +1,106 @@
+#pragma once
+// Fiber redistribution of a tensor unfolding (paper Alg 3, line 7).
+//
+// When P_n > 1, the mode-n unfolding is not in a 1D distribution: each
+// mode-n processor fiber collectively owns an (I_n x C) submatrix split
+// *row-wise* across the fiber (C = product of the fiber-shared local
+// dimensions of the other modes). An all-to-all within every fiber converts
+// this to a 1D *column* distribution: afterwards each rank owns all I_n
+// rows of C/P_n columns, stored column-major -- exactly the input the local
+// LQ (gelq) or local Gram (syrk) kernels want. This is the same
+// redistribution TuckerMPI uses for its Gram algorithm [6, Alg 4].
+
+#include <vector>
+
+#include "blas/matview.hpp"
+#include "dist/dist_tensor.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tucker::dist {
+
+/// Owning column-major matrix buffer (the redistributed unfolding).
+template <class T>
+struct ColMatrix {
+  std::vector<T> data;
+  index_t rows = 0;
+  index_t cols = 0;
+
+  blas::MatView<T> view() {
+    return blas::MatView<T>::col_major(data.data(), rows, cols);
+  }
+  blas::MatView<const T> view() const {
+    return blas::MatView<const T>::col_major(data.data(), rows, cols);
+  }
+};
+
+/// Collective over the mode-n fiber communicator: returns this rank's
+/// column slice (all I_n global rows) of the fiber's unfolding submatrix.
+template <class T>
+ColMatrix<T> redistribute_unfolding(const DistTensor<T>& y, std::size_t n) {
+  mpi::Comm& fiber = y.fiber_comm(n);
+  const index_t pn = fiber.size();
+  const tensor::Tensor<T>& loc = y.local();
+  const index_t my_rows = loc.dim(n);
+  const index_t before = tensor::prod_before(loc.dims(), n);
+  const index_t after = tensor::prod_after(loc.dims(), n);
+  const index_t total_cols = before * after;  // same on every fiber rank
+  const index_t global_rows = y.global_dim(n);
+  const int me = fiber.rank();
+
+  // Pack: destination q gets my rows of its column slice, column-major
+  // (consecutive columns, each a contiguous my_rows segment).
+  std::vector<T> sendbuf(static_cast<std::size_t>(my_rows * total_cols));
+  std::vector<std::int64_t> scounts(static_cast<std::size_t>(pn)),
+      sdispls(static_cast<std::size_t>(pn)),
+      rcounts(static_cast<std::size_t>(pn)),
+      rdispls(static_cast<std::size_t>(pn));
+  {
+    std::int64_t off = 0;
+    for (index_t q = 0; q < pn; ++q) {
+      const Range cr = block_range(total_cols, pn, q);
+      sdispls[static_cast<std::size_t>(q)] = off;
+      scounts[static_cast<std::size_t>(q)] = my_rows * cr.size();
+      for (index_t c = cr.lo; c < cr.hi; ++c) {
+        const index_t cb = c % before;
+        const index_t j = c / before;
+        auto blk = tensor::unfolding_block(loc, n, j);
+        for (index_t i = 0; i < my_rows; ++i)
+          sendbuf[static_cast<std::size_t>(off++)] = blk(i, cb);
+      }
+    }
+  }
+
+  const Range mycols = block_range(total_cols, pn, me);
+  {
+    std::int64_t off = 0;
+    for (index_t r = 0; r < pn; ++r) {
+      const index_t rrows = block_range(global_rows, pn, r).size();
+      rdispls[static_cast<std::size_t>(r)] = off;
+      rcounts[static_cast<std::size_t>(r)] = rrows * mycols.size();
+      off += rrows * mycols.size();
+    }
+  }
+
+  std::vector<T> recvbuf(
+      static_cast<std::size_t>(global_rows * mycols.size()));
+  fiber.alltoallv(sendbuf.data(), scounts, sdispls, recvbuf.data(), rcounts,
+                  rdispls);
+
+  // Unpack into the column-major result: source r supplied its row range of
+  // each of my columns.
+  ColMatrix<T> z;
+  z.rows = global_rows;
+  z.cols = mycols.size();
+  z.data.resize(static_cast<std::size_t>(z.rows * z.cols));
+  for (index_t r = 0; r < pn; ++r) {
+    const Range rr = block_range(global_rows, pn, r);
+    const T* src =
+        recvbuf.data() + rdispls[static_cast<std::size_t>(r)];
+    for (index_t c = 0; c < z.cols; ++c)
+      for (index_t i = 0; i < rr.size(); ++i)
+        z.data[static_cast<std::size_t>(c * z.rows + rr.lo + i)] = *src++;
+  }
+  return z;
+}
+
+}  // namespace tucker::dist

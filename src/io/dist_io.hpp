@@ -1,0 +1,61 @@
+#pragma once
+// Distributed tensor file I/O, mediated by rank 0.
+//
+// TuckerMPI reads simulation dumps with MPI-IO; at this repository's scales
+// a root-mediated read + scatter (and gather + write) preserves the same
+// program structure without a parallel filesystem. The substitution is
+// documented in DESIGN.md; a parallel-IO backend would slot in behind the
+// same two calls.
+
+#include <string>
+
+#include "dist/dist_tensor.hpp"
+#include "io/tensor_io.hpp"
+
+namespace tucker::io {
+
+/// Collective: rank 0 reads a headerless raw binary file of the tensor's
+/// global dims and scatters the blocks.
+template <class T>
+void read_raw_dist_tensor(const std::string& path, dist::DistTensor<T>& dt) {
+  tensor::Tensor<T> full;
+  if (dt.world().rank() == 0)
+    full = read_raw_tensor<T>(path, dt.global_dims());
+  dt.scatter_from_root(full);
+}
+
+/// Collective: gathers the distributed tensor on rank 0 and writes it as
+/// headerless raw binary.
+template <class T>
+void write_raw_dist_tensor(const std::string& path,
+                           const dist::DistTensor<T>& dt) {
+  tensor::Tensor<T> full = dt.gather_to_root();
+  if (dt.world().rank() == 0) write_raw_tensor(path, full);
+  // Keep callers in lockstep: writing is rank 0's job, but the collective
+  // contract is that everyone returns after the file is complete.
+  dt.world().barrier();
+}
+
+/// Collective: rank 0 reads a self-describing tensor file (dims must match
+/// the distribution) and scatters it.
+template <class T>
+void read_dist_tensor(const std::string& path, dist::DistTensor<T>& dt) {
+  tensor::Tensor<T> full;
+  if (dt.world().rank() == 0) {
+    full = read_tensor<T>(path);
+    TUCKER_CHECK(full.dims() == dt.global_dims(),
+                 "read_dist_tensor: file dims do not match distribution");
+  }
+  dt.scatter_from_root(full);
+}
+
+/// Collective: gathers and writes a self-describing tensor file.
+template <class T>
+void write_dist_tensor(const std::string& path,
+                       const dist::DistTensor<T>& dt) {
+  tensor::Tensor<T> full = dt.gather_to_root();
+  if (dt.world().rank() == 0) write_tensor(path, full);
+  dt.world().barrier();
+}
+
+}  // namespace tucker::io

@@ -1,0 +1,184 @@
+#pragma once
+// Raw binary tensor I/O, TuckerMPI style.
+//
+// TuckerMPI consumes simulation dumps as headerless raw binary arrays in
+// the tensor's linearized order, with the dimensions supplied out of band;
+// this module provides the same for the sequential Tensor plus a simple
+// self-describing container (magic + dtype + dims header) so decompositions
+// can be saved and reloaded without a side channel. Distributed tensors
+// read/write through rank 0 (adequate at the scales this repo targets; a
+// parallel-filesystem path would drop in behind the same API).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/tucker_tensor.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tucker::io {
+
+using blas::index_t;
+using tensor::Dims;
+using tensor::Tensor;
+
+namespace detail {
+
+inline std::FILE* open_or_die(const std::string& path, const char* mode) {
+  std::FILE* f = std::fopen(path.c_str(), mode);
+  TUCKER_CHECK(f != nullptr, "io: cannot open file");
+  return f;
+}
+
+template <class T>
+void write_raw(std::FILE* f, const T* data, std::size_t count) {
+  const std::size_t written = std::fwrite(data, sizeof(T), count, f);
+  TUCKER_CHECK(written == count, "io: short write");
+}
+
+template <class T>
+void read_raw(std::FILE* f, T* data, std::size_t count) {
+  const std::size_t got = std::fread(data, sizeof(T), count, f);
+  TUCKER_CHECK(got == count, "io: short read");
+}
+
+inline constexpr std::uint64_t kMagic = 0x544b5254454e53ull;  // "TKRTENS"
+
+template <class T>
+constexpr std::uint32_t dtype_code() {
+  return sizeof(T) == 4 ? 1u : 2u;
+}
+
+}  // namespace detail
+
+// ------------------------------------------------------------ raw format
+
+/// Writes the tensor's values as headerless raw binary (TuckerMPI's input
+/// format); dimensions must be communicated out of band.
+template <class T>
+void write_raw_tensor(const std::string& path, const Tensor<T>& t) {
+  std::FILE* f = detail::open_or_die(path, "wb");
+  detail::write_raw(f, t.data(), static_cast<std::size_t>(t.size()));
+  std::fclose(f);
+}
+
+/// Reads a headerless raw binary file into a tensor of the given dims.
+template <class T>
+Tensor<T> read_raw_tensor(const std::string& path, const Dims& dims) {
+  Tensor<T> t(dims);
+  std::FILE* f = detail::open_or_die(path, "rb");
+  detail::read_raw(f, t.data(), static_cast<std::size_t>(t.size()));
+  std::fclose(f);
+  return t;
+}
+
+// ----------------------------------------------- self-describing format
+
+/// Writes magic, dtype, order, dims, then the values.
+template <class T>
+void write_tensor(const std::string& path, const Tensor<T>& t) {
+  std::FILE* f = detail::open_or_die(path, "wb");
+  const std::uint64_t magic = detail::kMagic;
+  const std::uint32_t dtype = detail::dtype_code<T>();
+  const auto order = static_cast<std::uint32_t>(t.order());
+  detail::write_raw(f, &magic, 1);
+  detail::write_raw(f, &dtype, 1);
+  detail::write_raw(f, &order, 1);
+  for (index_t d : t.dims()) {
+    const auto d64 = static_cast<std::uint64_t>(d);
+    detail::write_raw(f, &d64, 1);
+  }
+  detail::write_raw(f, t.data(), static_cast<std::size_t>(t.size()));
+  std::fclose(f);
+}
+
+/// Reads a self-describing tensor file (dtype must match T).
+template <class T>
+Tensor<T> read_tensor(const std::string& path) {
+  std::FILE* f = detail::open_or_die(path, "rb");
+  std::uint64_t magic = 0;
+  std::uint32_t dtype = 0, order = 0;
+  detail::read_raw(f, &magic, 1);
+  TUCKER_CHECK(magic == detail::kMagic, "io: not a tucker tensor file");
+  detail::read_raw(f, &dtype, 1);
+  TUCKER_CHECK(dtype == detail::dtype_code<T>(),
+               "io: stored precision does not match the requested type");
+  detail::read_raw(f, &order, 1);
+  Dims dims(order);
+  for (std::uint32_t k = 0; k < order; ++k) {
+    std::uint64_t d = 0;
+    detail::read_raw(f, &d, 1);
+    dims[k] = static_cast<index_t>(d);
+  }
+  Tensor<T> t(dims);
+  detail::read_raw(f, t.data(), static_cast<std::size_t>(t.size()));
+  std::fclose(f);
+  return t;
+}
+
+// ----------------------------------------------------- Tucker container
+
+/// Saves core + factor matrices into one file.
+template <class T>
+void write_tucker(const std::string& path,
+                  const core::TuckerTensor<T>& tk) {
+  std::FILE* f = detail::open_or_die(path, "wb");
+  const std::uint64_t magic = detail::kMagic + 1;
+  const std::uint32_t dtype = detail::dtype_code<T>();
+  const auto order = static_cast<std::uint32_t>(tk.factors.size());
+  detail::write_raw(f, &magic, 1);
+  detail::write_raw(f, &dtype, 1);
+  detail::write_raw(f, &order, 1);
+  for (std::uint32_t n = 0; n < order; ++n) {
+    const auto rows = static_cast<std::uint64_t>(tk.factors[n].rows());
+    const auto cols = static_cast<std::uint64_t>(tk.factors[n].cols());
+    detail::write_raw(f, &rows, 1);
+    detail::write_raw(f, &cols, 1);
+  }
+  for (std::uint32_t n = 0; n < order; ++n)
+    detail::write_raw(f, tk.factors[n].data(),
+                      static_cast<std::size_t>(tk.factors[n].rows() *
+                                               tk.factors[n].cols()));
+  detail::write_raw(f, tk.core.data(), static_cast<std::size_t>(tk.core.size()));
+  std::fclose(f);
+}
+
+/// Loads a decomposition saved by write_tucker.
+template <class T>
+core::TuckerTensor<T> read_tucker(const std::string& path) {
+  std::FILE* f = detail::open_or_die(path, "rb");
+  std::uint64_t magic = 0;
+  std::uint32_t dtype = 0, order = 0;
+  detail::read_raw(f, &magic, 1);
+  TUCKER_CHECK(magic == detail::kMagic + 1, "io: not a tucker container");
+  detail::read_raw(f, &dtype, 1);
+  TUCKER_CHECK(dtype == detail::dtype_code<T>(),
+               "io: stored precision does not match the requested type");
+  detail::read_raw(f, &order, 1);
+  std::vector<std::pair<index_t, index_t>> shapes(order);
+  Dims core_dims(order);
+  for (std::uint32_t n = 0; n < order; ++n) {
+    std::uint64_t rows = 0, cols = 0;
+    detail::read_raw(f, &rows, 1);
+    detail::read_raw(f, &cols, 1);
+    shapes[n] = {static_cast<index_t>(rows), static_cast<index_t>(cols)};
+    core_dims[n] = static_cast<index_t>(cols);
+  }
+  core::TuckerTensor<T> tk;
+  tk.factors.reserve(order);
+  for (std::uint32_t n = 0; n < order; ++n) {
+    blas::Matrix<T> u(shapes[n].first, shapes[n].second);
+    detail::read_raw(f, u.data(),
+                     static_cast<std::size_t>(u.rows() * u.cols()));
+    tk.factors.push_back(std::move(u));
+  }
+  tk.core = Tensor<T>(core_dims);
+  detail::read_raw(f, tk.core.data(), static_cast<std::size_t>(tk.core.size()));
+  std::fclose(f);
+  return tk;
+}
+
+}  // namespace tucker::io

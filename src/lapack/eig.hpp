@@ -1,0 +1,113 @@
+#pragma once
+// Cyclic Jacobi symmetric eigendecomposition.
+//
+// Plays the role of LAPACK's syev in the Gram-SVD path (TuckerMPI's
+// approach): the Gram matrix A*A^T is decomposed as V * diag(lambda) * V^T.
+// Jacobi is as accurate as any dense symmetric eigensolver; the accuracy
+// loss of Gram-SVD (paper Theorem 2) comes from *forming* the Gram matrix,
+// not from the eigensolver, so the sqrt(eps) floor reproduces regardless.
+// Rounding in the Gram product can make the computed matrix slightly
+// indefinite; eigenvalues are returned as-is (possibly tiny negatives) and
+// the caller applies the paper's sqrt(|lambda|) convention.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "blas/matrix.hpp"
+#include "common/flops.hpp"
+#include "common/precision.hpp"
+
+namespace tucker::la {
+
+template <class T>
+struct EigResult {
+  std::vector<T> lambda;  ///< Eigenvalues, sorted by descending |lambda|.
+  blas::Matrix<T> v;      ///< Eigenvectors (columns), same order.
+  int sweeps = 0;
+};
+
+/// Eigendecomposition of a symmetric n x n matrix (input not modified).
+template <class T>
+EigResult<T> jacobi_eig(blas::MatView<const T> a, int max_sweeps = 30) {
+  using blas::index_t;
+  const index_t n = a.rows();
+  TUCKER_CHECK(a.cols() == n, "jacobi_eig: matrix must be square");
+
+  blas::Matrix<T> w = blas::Matrix<T>::from(a);
+  blas::Matrix<T> v = blas::Matrix<T>::identity(n);
+
+  const T eps = precision<T>::eps;
+  int sweep = 0;
+  for (; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal magnitude relative to the diagonal scale.
+    T off = T(0), diag = T(0);
+    for (index_t i = 0; i < n; ++i) {
+      diag = std::max(diag, std::abs(w(i, i)));
+      for (index_t j = i + 1; j < n; ++j) off = std::max(off, std::abs(w(i, j)));
+    }
+    if (off <= T(10) * eps * std::max(diag, std::numeric_limits<T>::min()))
+      break;
+
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        const T apq = w(p, q);
+        if (apq == T(0)) continue;
+        const T app = w(p, p);
+        const T aqq = w(q, q);
+        if (std::abs(apq) <= eps * std::sqrt(std::abs(app * aqq)) &&
+            std::abs(apq) <= eps * diag)
+          continue;
+        const T zeta = (aqq - app) / (T(2) * apq);
+        const T t = std::copysign(
+            T(1) / (std::abs(zeta) + std::sqrt(T(1) + zeta * zeta)), zeta);
+        const T c = T(1) / std::sqrt(T(1) + t * t);
+        const T s = c * t;
+        // Two-sided rotation W = J^T W J on rows/cols p and q.
+        for (index_t i = 0; i < n; ++i) {
+          const T wip = w(i, p);
+          const T wiq = w(i, q);
+          w(i, p) = c * wip - s * wiq;
+          w(i, q) = s * wip + c * wiq;
+        }
+        for (index_t j = 0; j < n; ++j) {
+          const T wpj = w(p, j);
+          const T wqj = w(q, j);
+          w(p, j) = c * wpj - s * wqj;
+          w(q, j) = s * wpj + c * wqj;
+        }
+        // Accumulate eigenvectors.
+        for (index_t i = 0; i < n; ++i) {
+          const T vip = v(i, p);
+          const T viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+        tucker::add_flops(18 * n);
+      }
+    }
+  }
+
+  EigResult<T> out;
+  out.sweeps = sweep;
+  std::vector<T> lam(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) lam[static_cast<std::size_t>(i)] = w(i, i);
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  std::stable_sort(perm.begin(), perm.end(), [&](index_t x, index_t y) {
+    return std::abs(lam[static_cast<std::size_t>(x)]) >
+           std::abs(lam[static_cast<std::size_t>(y)]);
+  });
+  out.lambda.resize(static_cast<std::size_t>(n));
+  out.v = blas::Matrix<T>(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    const index_t src = perm[static_cast<std::size_t>(j)];
+    out.lambda[static_cast<std::size_t>(j)] =
+        lam[static_cast<std::size_t>(src)];
+    for (index_t i = 0; i < n; ++i) out.v(i, j) = v(i, src);
+  }
+  return out;
+}
+
+}  // namespace tucker::la

@@ -1,0 +1,180 @@
+#pragma once
+// Symmetric eigendecomposition via Householder tridiagonalization + implicit
+// QL iteration with Wilkinson shifts (the classical tred2/tql2 pair, which
+// is what LAPACK's syev family descends from).
+//
+// Provided as the alternative backend for the Gram-SVD path: Jacobi EVD
+// (eig.hpp) is simpler and extremely accurate; tridiagonal QL is
+// asymptotically cheaper (O(n^3) with a small constant for the reduction,
+// O(n^2) per eigenvalue for the iteration). The Gram method's sqrt(eps)
+// accuracy floor (paper Theorem 2) comes from forming A A^T, so the two
+// backends reproduce the paper identically.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "blas/matrix.hpp"
+#include "common/flops.hpp"
+#include "common/precision.hpp"
+#include "lapack/eig.hpp"
+
+namespace tucker::la {
+
+/// Eigendecomposition of a symmetric n x n matrix; same contract as
+/// jacobi_eig (eigenvalues sorted by descending |lambda|, matching
+/// eigenvector columns).
+template <class T>
+EigResult<T> tridiag_eig(blas::MatView<const T> a, int max_iter = 50) {
+  using blas::index_t;
+  const index_t n = a.rows();
+  TUCKER_CHECK(a.cols() == n, "tridiag_eig: matrix must be square");
+
+  blas::Matrix<T> q = blas::Matrix<T>::from(a);  // workspace, then vectors
+  std::vector<T> d(static_cast<std::size_t>(n), T(0));
+  std::vector<T> e(static_cast<std::size_t>(n), T(0));
+
+  // ---- Householder tridiagonalization (tred2, accumulating transforms) --
+  for (index_t i = n - 1; i > 0; --i) {
+    const index_t l = i - 1;
+    T h = T(0);
+    if (l > 0) {
+      T scale = T(0);
+      for (index_t k = 0; k <= l; ++k) scale += std::abs(q(i, k));
+      if (scale == T(0)) {
+        e[static_cast<std::size_t>(i)] = q(i, l);
+      } else {
+        for (index_t k = 0; k <= l; ++k) {
+          q(i, k) /= scale;
+          h += q(i, k) * q(i, k);
+        }
+        T f = q(i, l);
+        T g = f >= T(0) ? -std::sqrt(h) : std::sqrt(h);
+        e[static_cast<std::size_t>(i)] = scale * g;
+        h -= f * g;
+        q(i, l) = f - g;
+        f = T(0);
+        for (index_t j = 0; j <= l; ++j) {
+          q(j, i) = q(i, j) / h;  // store u/H for transform accumulation
+          g = T(0);
+          for (index_t k = 0; k <= j; ++k) g += q(j, k) * q(i, k);
+          for (index_t k = j + 1; k <= l; ++k) g += q(k, j) * q(i, k);
+          e[static_cast<std::size_t>(j)] = g / h;
+          f += e[static_cast<std::size_t>(j)] * q(i, j);
+        }
+        const T hh = f / (h + h);
+        for (index_t j = 0; j <= l; ++j) {
+          f = q(i, j);
+          e[static_cast<std::size_t>(j)] = g =
+              e[static_cast<std::size_t>(j)] - hh * f;
+          for (index_t k = 0; k <= j; ++k)
+            q(j, k) -= f * e[static_cast<std::size_t>(k)] + g * q(i, k);
+        }
+        tucker::add_flops(4 * (l + 1) * (l + 1));
+      }
+    } else {
+      e[static_cast<std::size_t>(i)] = q(i, l);
+    }
+    d[static_cast<std::size_t>(i)] = h;
+  }
+  d[0] = T(0);
+  e[0] = T(0);
+  // Accumulate the transformation matrix.
+  for (index_t i = 0; i < n; ++i) {
+    const index_t l = i;  // leading l x l block finished
+    if (d[static_cast<std::size_t>(i)] != T(0)) {
+      for (index_t j = 0; j < l; ++j) {
+        T g = T(0);
+        for (index_t k = 0; k < l; ++k) g += q(i, k) * q(k, j);
+        for (index_t k = 0; k < l; ++k) q(k, j) -= g * q(k, i);
+      }
+      tucker::add_flops(2 * l * l);
+    }
+    d[static_cast<std::size_t>(i)] = q(i, i);
+    q(i, i) = T(1);
+    for (index_t j = 0; j < l; ++j) {
+      q(j, i) = T(0);
+      q(i, j) = T(0);
+    }
+  }
+
+  // ---- implicit QL with Wilkinson shifts (tql2) ----
+  for (index_t i = 1; i < n; ++i)
+    e[static_cast<std::size_t>(i - 1)] = e[static_cast<std::size_t>(i)];
+  e[static_cast<std::size_t>(n - 1)] = T(0);
+  const T eps = precision<T>::eps;
+
+  for (index_t l = 0; l < n; ++l) {
+    int iter = 0;
+    index_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const T dd = std::abs(d[static_cast<std::size_t>(m)]) +
+                     std::abs(d[static_cast<std::size_t>(m + 1)]);
+        if (std::abs(e[static_cast<std::size_t>(m)]) <= eps * dd) break;
+      }
+      if (m != l) {
+        if (iter++ == max_iter) break;  // graceful: values still usable
+        T g = (d[static_cast<std::size_t>(l + 1)] -
+               d[static_cast<std::size_t>(l)]) /
+              (T(2) * e[static_cast<std::size_t>(l)]);
+        T r = static_cast<T>(std::hypot(g, T(1)));
+        g = d[static_cast<std::size_t>(m)] - d[static_cast<std::size_t>(l)] +
+            e[static_cast<std::size_t>(l)] /
+                (g + std::copysign(r, g));
+        T s = T(1), c = T(1), p = T(0);
+        bool underflow = false;
+        for (index_t i = m; i-- > l;) {
+          T f = s * e[static_cast<std::size_t>(i)];
+          const T b = c * e[static_cast<std::size_t>(i)];
+          r = static_cast<T>(std::hypot(f, g));
+          e[static_cast<std::size_t>(i + 1)] = r;
+          if (r == T(0)) {
+            d[static_cast<std::size_t>(i + 1)] -= p;
+            e[static_cast<std::size_t>(m)] = T(0);
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[static_cast<std::size_t>(i + 1)] - p;
+          r = (d[static_cast<std::size_t>(i)] - g) * s + T(2) * c * b;
+          p = s * r;
+          d[static_cast<std::size_t>(i + 1)] = g + p;
+          g = c * r - b;
+          // Rotate eigenvector columns i, i+1.
+          for (index_t k = 0; k < n; ++k) {
+            f = q(k, i + 1);
+            q(k, i + 1) = s * q(k, i) + c * f;
+            q(k, i) = c * q(k, i) - s * f;
+          }
+          tucker::add_flops(6 * n);
+        }
+        if (underflow) continue;
+        d[static_cast<std::size_t>(l)] -= p;
+        e[static_cast<std::size_t>(l)] = g;
+        e[static_cast<std::size_t>(m)] = T(0);
+      }
+    } while (m != l);
+  }
+
+  // ---- sort by |lambda| descending (Gram convention) ----
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  std::stable_sort(perm.begin(), perm.end(), [&](index_t x, index_t y) {
+    return std::abs(d[static_cast<std::size_t>(x)]) >
+           std::abs(d[static_cast<std::size_t>(y)]);
+  });
+  EigResult<T> out;
+  out.lambda.resize(static_cast<std::size_t>(n));
+  out.v = blas::Matrix<T>(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    const index_t src = perm[static_cast<std::size_t>(j)];
+    out.lambda[static_cast<std::size_t>(j)] = d[static_cast<std::size_t>(src)];
+    for (index_t i = 0; i < n; ++i) out.v(i, j) = q(i, src);
+  }
+  return out;
+}
+
+}  // namespace tucker::la

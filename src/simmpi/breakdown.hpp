@@ -1,0 +1,63 @@
+#pragma once
+// Per-rank time-breakdown ledger.
+//
+// The paper reports ST-HOSVD time split into LQ/Gram, SVD/EVD and TTM per
+// mode, taken from the slowest processor (Sec 4.1). Each rank tags the
+// region it is in ("mode2/LQ", ...); measured compute time and modeled
+// communication time are charged to the active region. The harness then
+// reports the breakdown of the rank with the largest simulated time.
+
+#include <map>
+#include <string>
+
+namespace tucker::mpi {
+
+class Breakdown {
+ public:
+  /// Sets the active region label; returns the previous label.
+  std::string set_region(std::string region) {
+    std::string prev = std::move(current_);
+    current_ = std::move(region);
+    return prev;
+  }
+  const std::string& region() const { return current_; }
+
+  /// Charges `seconds` of compute time to the active region.
+  void charge_compute(double seconds) {
+    compute_[current_] += seconds;
+    total_compute_ += seconds;
+  }
+  /// Charges `seconds` of modeled communication time to the active region.
+  void charge_comm(double seconds) {
+    comm_[current_] += seconds;
+    total_comm_ += seconds;
+  }
+
+  const std::map<std::string, double>& compute() const { return compute_; }
+  const std::map<std::string, double>& comm() const { return comm_; }
+  double total_compute() const { return total_compute_; }
+  double total_comm() const { return total_comm_; }
+
+ private:
+  std::string current_ = "other";
+  std::map<std::string, double> compute_;
+  std::map<std::string, double> comm_;
+  double total_compute_ = 0;
+  double total_comm_ = 0;
+};
+
+/// RAII region scope for Breakdown.
+class RegionScope {
+ public:
+  RegionScope(Breakdown& b, std::string region)
+      : b_(b), prev_(b.set_region(std::move(region))) {}
+  ~RegionScope() { b_.set_region(std::move(prev_)); }
+  RegionScope(const RegionScope&) = delete;
+  RegionScope& operator=(const RegionScope&) = delete;
+
+ private:
+  Breakdown& b_;
+  std::string prev_;
+};
+
+}  // namespace tucker::mpi

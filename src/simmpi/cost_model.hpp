@@ -1,0 +1,28 @@
+#pragma once
+// Communication cost model for the simulated MPI runtime.
+//
+// The paper analyzes algorithms in the alpha-beta-gamma model (Sec 2.1):
+// a message of w words costs alpha + beta*w, and flops cost gamma each.
+// Our runtime executes real computation (gamma is *measured* per thread via
+// CLOCK_THREAD_CPUTIME_ID) and charges modeled alpha/beta costs for every
+// message actually sent, so simulated parallel time = measured local compute
+// on the critical path + modeled communication. Beta is per *byte*, so
+// running in single precision halves bandwidth cost exactly as on real
+// hardware.
+
+#include <cstdint>
+
+namespace tucker::mpi {
+
+struct CostModel {
+  /// Per-message latency, seconds. Default ~ a commodity cluster interconnect.
+  double alpha = 2e-6;
+  /// Per-byte transfer cost, seconds (default 1/(10 GB/s)).
+  double beta = 1e-10;
+
+  double message_cost(std::int64_t bytes) const {
+    return alpha + beta * static_cast<double>(bytes);
+  }
+};
+
+}  // namespace tucker::mpi

@@ -1,0 +1,87 @@
+#include "simmpi/runtime.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/flops.hpp"
+#include "simmpi/world.hpp"
+
+namespace tucker::mpi {
+
+double RunStats::makespan() const {
+  double m = 0;
+  for (const auto& r : ranks) m = std::max(m, r.vtime);
+  return m;
+}
+
+const RankStats& RunStats::slowest() const {
+  TUCKER_CHECK(!ranks.empty(), "RunStats: no ranks");
+  const RankStats* best = &ranks.front();
+  for (const auto& r : ranks)
+    if (r.vtime > best->vtime) best = &r;
+  return *best;
+}
+
+std::int64_t RunStats::total_flops() const {
+  std::int64_t s = 0;
+  for (const auto& r : ranks) s += r.flops;
+  return s;
+}
+
+std::int64_t RunStats::total_bytes() const {
+  std::int64_t s = 0;
+  for (const auto& r : ranks) s += r.bytes_sent;
+  return s;
+}
+
+std::int64_t RunStats::total_messages() const {
+  std::int64_t s = 0;
+  for (const auto& r : ranks) s += r.messages_sent;
+  return s;
+}
+
+RunStats Runtime::run(int nprocs, const std::function<void(Comm&)>& fn,
+                      CostModel model) {
+  TUCKER_CHECK(nprocs >= 1, "Runtime: need at least one rank");
+  World world(nprocs, model);
+
+  std::vector<int> identity(static_cast<std::size_t>(nprocs));
+  std::iota(identity.begin(), identity.end(), 0);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    threads.emplace_back([&world, &fn, &identity, r]() {
+      RankState& st = world.state(r);
+      // The CPU timer must be created/reset on the rank's own thread.
+      st.cpu_timer.reset();
+      st.cpu_last = 0;
+      reset_thread_flops();
+      Comm comm(&world, identity, r, /*ctx=*/0);
+      fn(comm);
+      comm.sync_cpu_clock();
+      st.flops = thread_flops();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  RunStats out;
+  out.ranks.resize(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    const RankState& st = world.state(r);
+    RankStats& dst = out.ranks[static_cast<std::size_t>(r)];
+    dst.vtime = st.vtime;
+    dst.compute_seconds = st.breakdown.total_compute();
+    dst.comm_seconds = st.breakdown.total_comm();
+    dst.region_compute = st.breakdown.compute();
+    dst.region_comm = st.breakdown.comm();
+    dst.flops = st.flops;
+    dst.bytes_sent = st.bytes_sent;
+    dst.messages_sent = st.messages_sent;
+  }
+  return out;
+}
+
+}  // namespace tucker::mpi

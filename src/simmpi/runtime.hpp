@@ -1,0 +1,55 @@
+#pragma once
+// Simulated MPI runtime: spawns P rank-threads and collects statistics.
+//
+// This substitutes for the paper's 704-node Andes cluster. Ranks execute
+// the real distributed algorithms (real data movement through mailboxes,
+// real local computation); time is accounted per rank as measured thread
+// CPU time plus alpha-beta modeled message costs (see comm.hpp). On a
+// machine with few cores the wall clock is meaningless under
+// oversubscription, but each rank's simulated clock is not -- the reported
+// makespan is the critical-path time the same program would take on a
+// cluster with the modeled interconnect and this machine's cores.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/cost_model.hpp"
+
+namespace tucker::mpi {
+
+struct RankStats {
+  double vtime = 0;            ///< Simulated completion time of this rank.
+  double compute_seconds = 0;  ///< Measured CPU compute time.
+  double comm_seconds = 0;     ///< Modeled communication + wait time.
+  std::map<std::string, double> region_compute;
+  std::map<std::string, double> region_comm;
+  std::int64_t flops = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t messages_sent = 0;
+};
+
+struct RunStats {
+  std::vector<RankStats> ranks;
+
+  /// Simulated parallel runtime (max over ranks).
+  double makespan() const;
+  /// Rank with the largest simulated time (paper reports the slowest
+  /// processor's breakdown).
+  const RankStats& slowest() const;
+  std::int64_t total_flops() const;
+  std::int64_t total_bytes() const;
+  std::int64_t total_messages() const;
+};
+
+class Runtime {
+ public:
+  /// Runs fn(world_comm) on `nprocs` rank-threads; blocks until all finish.
+  static RunStats run(int nprocs, const std::function<void(Comm&)>& fn,
+                      CostModel model = CostModel{});
+};
+
+}  // namespace tucker::mpi

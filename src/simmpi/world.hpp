@@ -1,0 +1,75 @@
+#pragma once
+// Internal shared state of the simulated MPI runtime. Not a public header.
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "simmpi/breakdown.hpp"
+#include "simmpi/cost_model.hpp"
+
+namespace tucker::mpi {
+
+struct Mail {
+  int src_world;             // sender's world rank
+  std::int64_t ctx;          // communicator context
+  std::int64_t tag;
+  std::vector<std::byte> bytes;
+  double ready_vtime;        // sender's virtual clock when delivery completes
+};
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::list<Mail> queue;
+};
+
+// Per-rank state. Each rank's thread is the sole writer of its own entry;
+// mailboxes are the only cross-thread channel.
+struct RankState {
+  double vtime = 0;                 // simulated clock
+  double cpu_last = 0;              // last sampled thread CPU seconds
+  ThreadCpuTimer cpu_timer;         // created on the rank's own thread
+  Breakdown breakdown;
+  std::int64_t bytes_sent = 0;
+  std::int64_t messages_sent = 0;
+  std::int64_t flops = 0;           // filled in at teardown
+};
+
+class World {
+ public:
+  World(int nprocs, CostModel model)
+      : model_(model), boxes_(nprocs), ranks_(nprocs) {}
+
+  int nprocs() const { return static_cast<int>(ranks_.size()); }
+  const CostModel& model() const { return model_; }
+  Mailbox& box(int world_rank) { return boxes_[static_cast<std::size_t>(world_rank)]; }
+  RankState& state(int world_rank) { return ranks_[static_cast<std::size_t>(world_rank)]; }
+
+  /// Returns a context id for a split, identical for all callers that pass
+  /// the same (parent_ctx, seq, color) triple.
+  std::int64_t split_context(std::int64_t parent_ctx, std::int64_t seq,
+                             int color) {
+    std::lock_guard<std::mutex> g(ctx_mutex_);
+    auto key = std::make_tuple(parent_ctx, seq, static_cast<std::int64_t>(color));
+    auto [it, inserted] = ctx_registry_.try_emplace(key, next_ctx_);
+    if (inserted) ++next_ctx_;
+    return it->second;
+  }
+
+ private:
+  CostModel model_;
+  std::vector<Mailbox> boxes_;
+  std::vector<RankState> ranks_;
+  std::mutex ctx_mutex_;
+  std::map<std::tuple<std::int64_t, std::int64_t, std::int64_t>, std::int64_t>
+      ctx_registry_;
+  std::int64_t next_ctx_ = 1;
+};
+
+}  // namespace tucker::mpi

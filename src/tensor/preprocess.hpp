@@ -1,0 +1,153 @@
+#pragma once
+// Per-slice statistics and normalization, TuckerMPI style.
+//
+// Combustion datasets mix variables with wildly different physical scales
+// (temperature, species mass fractions, ...), so TuckerMPI computes
+// statistics over each slice of a chosen mode (e.g. the "variables" mode)
+// and optionally normalizes slices before compression -- otherwise the
+// largest-scale variable dominates every truncation decision. This module
+// provides the same: slice statistics (min/max/mean/variance), and
+// in-place centering/scaling with the transform recorded so it can be
+// undone after reconstruction.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tucker::tensor {
+
+/// Statistics of one mode-n slice (all entries with a fixed mode-n index).
+struct SliceStats {
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double mean = 0;
+  double variance = 0;  ///< Population variance.
+  double stddev() const { return std::sqrt(variance); }
+};
+
+/// Computes statistics for every slice of mode n.
+template <class T>
+std::vector<SliceStats> slice_statistics(const Tensor<T>& x, std::size_t n) {
+  TUCKER_CHECK(n < x.order(), "slice_statistics: mode out of range");
+  const index_t slices = x.dim(n);
+  std::vector<SliceStats> stats(static_cast<std::size_t>(slices));
+  std::vector<double> sum(static_cast<std::size_t>(slices), 0);
+  std::vector<double> sumsq(static_cast<std::size_t>(slices), 0);
+
+  const index_t nblocks = unfolding_num_blocks(x, n);
+  for (index_t j = 0; j < nblocks; ++j) {
+    auto blk = unfolding_block(x, n, j);
+    for (index_t i = 0; i < blk.rows(); ++i) {
+      auto& st = stats[static_cast<std::size_t>(i)];
+      for (index_t c = 0; c < blk.cols(); ++c) {
+        const double v = static_cast<double>(blk(i, c));
+        st.min = std::min(st.min, v);
+        st.max = std::max(st.max, v);
+        sum[static_cast<std::size_t>(i)] += v;
+        sumsq[static_cast<std::size_t>(i)] += v * v;
+      }
+    }
+  }
+  const double count =
+      static_cast<double>(x.size()) / static_cast<double>(slices);
+  for (index_t i = 0; i < slices; ++i) {
+    auto& st = stats[static_cast<std::size_t>(i)];
+    if (count > 0) {
+      st.mean = sum[static_cast<std::size_t>(i)] / count;
+      st.variance =
+          std::max(0.0, sumsq[static_cast<std::size_t>(i)] / count -
+                            st.mean * st.mean);
+    }
+  }
+  return stats;
+}
+
+/// How to normalize slices (TuckerMPI's preprocessing options).
+enum class Normalization {
+  kNone,
+  kStandardCentering,  ///< (x - mean) / stddev per slice
+  kMinMax,             ///< (x - min) / (max - min) per slice
+  kMax,                ///< x / max(|min|, |max|) per slice
+};
+
+/// The per-slice affine transform applied: x' = (x - shift) * scale.
+/// Invert with x = x' / scale + shift.
+struct SliceTransform {
+  std::size_t mode = 0;
+  std::vector<double> shift;
+  std::vector<double> scale;
+};
+
+/// Normalizes the tensor in place, slice by slice along mode n, and returns
+/// the transform for later inversion. Degenerate slices (zero spread) are
+/// left unscaled.
+template <class T>
+SliceTransform normalize_slices(Tensor<T>& x, std::size_t n,
+                                Normalization kind) {
+  auto stats = slice_statistics(x, n);
+  SliceTransform tr;
+  tr.mode = n;
+  tr.shift.resize(stats.size(), 0.0);
+  tr.scale.resize(stats.size(), 1.0);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const auto& st = stats[i];
+    switch (kind) {
+      case Normalization::kNone:
+        break;
+      case Normalization::kStandardCentering: {
+        tr.shift[i] = st.mean;
+        const double sd = st.stddev();
+        tr.scale[i] = sd > 0 ? 1.0 / sd : 1.0;
+        break;
+      }
+      case Normalization::kMinMax: {
+        tr.shift[i] = st.min;
+        const double spread = st.max - st.min;
+        tr.scale[i] = spread > 0 ? 1.0 / spread : 1.0;
+        break;
+      }
+      case Normalization::kMax: {
+        const double amax = std::max(std::abs(st.min), std::abs(st.max));
+        tr.scale[i] = amax > 0 ? 1.0 / amax : 1.0;
+        break;
+      }
+    }
+  }
+
+  const index_t nblocks = unfolding_num_blocks(x, n);
+  for (index_t j = 0; j < nblocks; ++j) {
+    auto blk = unfolding_block(x, n, j);
+    for (index_t i = 0; i < blk.rows(); ++i) {
+      const T shift = static_cast<T>(tr.shift[static_cast<std::size_t>(i)]);
+      const T scale = static_cast<T>(tr.scale[static_cast<std::size_t>(i)]);
+      for (index_t c = 0; c < blk.cols(); ++c)
+        blk(i, c) = (blk(i, c) - shift) * scale;
+    }
+  }
+  return tr;
+}
+
+/// Undoes normalize_slices (e.g. after reconstructing a compressed tensor).
+template <class T>
+void denormalize_slices(Tensor<T>& x, const SliceTransform& tr) {
+  const std::size_t n = tr.mode;
+  TUCKER_CHECK(n < x.order(), "denormalize_slices: mode out of range");
+  TUCKER_CHECK(static_cast<index_t>(tr.shift.size()) == x.dim(n),
+               "denormalize_slices: transform size mismatch");
+  const index_t nblocks = unfolding_num_blocks(x, n);
+  for (index_t j = 0; j < nblocks; ++j) {
+    auto blk = unfolding_block(x, n, j);
+    for (index_t i = 0; i < blk.rows(); ++i) {
+      const T shift = static_cast<T>(tr.shift[static_cast<std::size_t>(i)]);
+      const T inv =
+          static_cast<T>(1.0 / tr.scale[static_cast<std::size_t>(i)]);
+      for (index_t c = 0; c < blk.cols(); ++c)
+        blk(i, c) = blk(i, c) * inv + shift;
+    }
+  }
+}
+
+}  // namespace tucker::tensor

@@ -1,0 +1,76 @@
+#pragma once
+// Sequential LQ of a tensor unfolding (paper Alg 2).
+//
+// The triangular factor L of X_(n) = L*Q carries all the information the
+// SVD step needs (singular values and left singular vectors). Modes with a
+// single-matrix unfolding (mode 0: column-major; last mode: row-major) are
+// factored with one driver call; middle modes use a flat-tree TSQR that
+// annihilates one row-major block at a time into the running triangle via
+// the structured tplqt kernel, streaming the tensor once and never
+// reordering it in memory. If the leading block is not short-fat, blocks
+// are merged until the first LQ yields a triangle (paper Sec 3.3); if even
+// the whole unfolding is tall, the resulting lower-trapezoidal factor is
+// returned (callers zero-pad when a square triangle is required).
+//
+// The input tensor is left untouched: ST-HOSVD still needs it for the TTM
+// truncation. Scratch is one unfolding block (plus the whole unfolding for
+// the single-matrix modes, mirroring TuckerMPI's work-array behaviour).
+
+#include <vector>
+
+#include "blas/blas1.hpp"
+#include "blas/matrix.hpp"
+#include "lapack/qr.hpp"
+#include "lapack/tpqrt.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tucker::tensor {
+
+/// L factor (I_n x min(I_n, I_n^< * I_n^>), lower trapezoidal) of the
+/// mode-n unfolding of y.
+template <class T>
+blas::Matrix<T> tensor_lq(const Tensor<T>& y, std::size_t n) {
+  TUCKER_CHECK(n < y.order(), "tensor_lq: mode out of range");
+  const index_t m = y.dim(n);
+  const index_t before = prod_before(y.dims(), n);
+  const index_t after = prod_after(y.dims(), n);
+  const index_t total_cols = before * after;
+  std::vector<T> tau;
+
+  if (n == 0) {
+    // Column-major unfolding: one driver call (the paper's gelq case).
+    blas::Matrix<T> work(m, total_cols);
+    blas::copy(unfolding_mode0(y), work.view());
+    la::gelqf(work.view(), tau);
+    return la::extract_l<T>(work.view());
+  }
+  if (after == 1) {
+    // Row-major unfolding (always true for the last mode): equivalent to a
+    // QR of the transpose (the paper's geqr case); our gelqf on a row-major
+    // view is exactly that computation.
+    blas::Matrix<T> work = blas::Matrix<T>::from(unfolding_block(y, n, 0));
+    la::gelqf(work.view(), tau);
+    return la::extract_l<T>(work.view());
+  }
+
+  // Flat-tree TSQR over the I_n^> row-major blocks. Merge enough leading
+  // blocks that the first LQ produces a full triangle.
+  const index_t merge =
+      std::min(after, (m + before - 1) / before);  // ceil(m / before)
+  blas::Matrix<T> first(m, merge * before);
+  for (index_t b = 0; b < merge; ++b)
+    blas::copy(unfolding_block(y, n, b),
+               first.view().block(0, b * before, m, before));
+  la::gelqf(first.view(), tau);
+  blas::Matrix<T> l = la::extract_l<T>(first.view());
+  if (l.cols() < m) return l;  // whole unfolding was tall: trapezoid, done
+
+  blas::Matrix<T> scratch(m, before);
+  for (index_t j = merge; j < after; ++j) {
+    blas::copy(unfolding_block(y, n, j), scratch.view());
+    la::tplqt(l.view(), scratch.view(), tau, la::Pentagon::kFull);
+  }
+  return l;
+}
+
+}  // namespace tucker::tensor

@@ -1,0 +1,44 @@
+#pragma once
+// Tensor-times-matrix (TTM): Y = X x_n U, defined by Y_(n) = U * X_(n).
+//
+// This is the truncation kernel of ST-HOSVD (line 7 of Alg 1, applied with
+// U_n^T) and the reconstruction kernel of a Tucker tensor. The computation
+// respects the natural layout: one row-major gemm per unfolding block, and
+// a transposed gemm for the column-major mode-0 unfolding -- the same
+// design as TuckerMPI's TTM kernel [6, Alg 3].
+
+#include "blas/gemm.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tucker::tensor {
+
+/// Y = X x_n U where U is (R x I_n); Y has dims of X with mode n replaced
+/// by R. To truncate with a factor matrix F (I_n x R), pass F^T via a view.
+template <class T>
+Tensor<T> ttm(const Tensor<T>& x, std::size_t n, MatView<const T> u) {
+  TUCKER_CHECK(n < x.order(), "ttm: mode out of range");
+  TUCKER_CHECK(u.cols() == x.dim(n), "ttm: inner dimension mismatch");
+  Dims ydims = x.dims();
+  ydims[n] = u.rows();
+  Tensor<T> y(ydims);
+  if (y.size() == 0 || x.size() == 0) return y;
+
+  if (n == 0) {
+    // Column-major unfolding: compute Y_(0)^T = X_(0)^T * U^T so both gemm
+    // operands stream contiguously (row-major views of the same buffers).
+    auto xv = unfolding_mode0(x);
+    auto yv = unfolding_mode0(y);
+    blas::gemm(T(1), MatView<const T>(xv.t()), MatView<const T>(u.t()), T(0),
+               yv.t());
+  } else {
+    const index_t nblocks = unfolding_num_blocks(x, n);
+    for (index_t j = 0; j < nblocks; ++j) {
+      auto xb = unfolding_block(x, n, j);
+      auto yb = unfolding_block(y, n, j);
+      blas::gemm(T(1), u, xb, T(0), yb);
+    }
+  }
+  return y;
+}
+
+}  // namespace tucker::tensor

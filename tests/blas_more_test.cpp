@@ -1,0 +1,220 @@
+// Additional BLAS coverage: the gemm layout paths (transpose flip, packed
+// B), strided syrk fallback, fast_dot, and nrm2 property sweeps.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/blas1.hpp"
+#include "blas/gemm.hpp"
+#include "blas/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace tucker {
+namespace {
+
+using blas::index_t;
+using blas::Matrix;
+using blas::MatView;
+
+template <class T>
+Matrix<T> random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<T> a(m, n);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) a(i, j) = rng.normal<T>();
+  return a;
+}
+
+template <class T>
+Matrix<T> ref_gemm(MatView<const T> a, MatView<const T> b) {
+  Matrix<T> c(a.rows(), b.cols());
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < b.cols(); ++j) {
+      double s = 0;
+      for (index_t k = 0; k < a.cols(); ++k)
+        s += static_cast<double>(a(i, k)) * static_cast<double>(b(k, j));
+      c(i, j) = static_cast<T>(s);
+    }
+  return c;
+}
+
+// ------------------------------------------------------ gemm layout paths
+
+TEST(GemmLayoutTest, ColumnMajorCTakesTransposeFlip) {
+  // C stored column-major: gemm must produce the same numbers as row-major.
+  const index_t m = 17, n = 23, k = 9;
+  auto a = random_matrix<double>(m, k, 1);
+  auto b = random_matrix<double>(k, n, 2);
+  std::vector<double> cm(static_cast<std::size_t>(m * n));
+  auto c = MatView<double>::col_major(cm.data(), m, n);
+  blas::gemm(1.0, MatView<const double>(a.view()),
+             MatView<const double>(b.view()), 0.0, c);
+  auto ref = ref_gemm(MatView<const double>(a.view()),
+                      MatView<const double>(b.view()));
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) EXPECT_NEAR(c(i, j), ref(i, j), 1e-12);
+}
+
+TEST(GemmLayoutTest, PackedBPathMatchesReference) {
+  // B column-major (col_stride != 1) triggers tile packing; sizes larger
+  // than one tile exercise multiple pack iterations.
+  const index_t m = 5, n = 700, k = 150;
+  auto a = random_matrix<double>(m, k, 3);
+  auto brow = random_matrix<double>(k, n, 4);
+  std::vector<double> bcm(static_cast<std::size_t>(k * n));
+  auto b = MatView<double>::col_major(bcm.data(), k, n);
+  blas::copy(MatView<const double>(brow.view()), b);
+
+  Matrix<double> c(m, n);
+  blas::gemm(1.0, MatView<const double>(a.view()), MatView<const double>(b),
+             0.0, c.view());
+  auto ref = ref_gemm(MatView<const double>(a.view()),
+                      MatView<const double>(brow.view()));
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(c.view()),
+                               MatView<const double>(ref.view())),
+            1e-10);
+}
+
+TEST(GemmLayoutTest, BothOperandsTransposedViews) {
+  const index_t m = 11, n = 13, k = 7;
+  auto at = random_matrix<double>(k, m, 5);  // A = at^T
+  auto bt = random_matrix<double>(n, k, 6);  // B = bt^T
+  Matrix<double> c(m, n);
+  blas::gemm(1.0, MatView<const double>(at.view().t()),
+             MatView<const double>(bt.view().t()), 0.0, c.view());
+  auto ref = ref_gemm(MatView<const double>(at.view().t()),
+                      MatView<const double>(bt.view().t()));
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(c.view()),
+                               MatView<const double>(ref.view())),
+            1e-12);
+}
+
+TEST(GemmLayoutTest, SubmatrixViewsWithLeadingDimension) {
+  // Operate on interior blocks of larger allocations.
+  auto big_a = random_matrix<double>(20, 20, 7);
+  auto big_b = random_matrix<double>(20, 20, 8);
+  auto big_c = random_matrix<double>(20, 20, 9);
+  auto a = big_a.view().block(3, 4, 6, 5);
+  auto b = big_b.view().block(1, 2, 5, 7);
+  auto c = big_c.view().block(2, 2, 6, 7);
+  auto ref = ref_gemm<double>(MatView<const double>(a),
+                              MatView<const double>(b));
+  blas::gemm(1.0, MatView<const double>(a), MatView<const double>(b), 0.0, c);
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(c),
+                               MatView<const double>(ref.view())),
+            1e-12);
+}
+
+// --------------------------------------------------------------- syrk
+
+TEST(SyrkLayoutTest, ColMajorInputUsesOuterProductPath) {
+  const index_t m = 12, n = 333;
+  auto arow = random_matrix<double>(m, n, 10);
+  std::vector<double> acm(static_cast<std::size_t>(m * n));
+  auto a = MatView<double>::col_major(acm.data(), m, n);
+  blas::copy(MatView<const double>(arow.view()), a);
+  Matrix<double> c1(m, m), c2(m, m);
+  blas::syrk(1.0, MatView<const double>(a), 0.0, c1.view());
+  blas::syrk(1.0, MatView<const double>(arow.view()), 0.0, c2.view());
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(c1.view()),
+                               MatView<const double>(c2.view())),
+            1e-10);
+}
+
+TEST(SyrkLayoutTest, GenericCFallback) {
+  // Column-major C exercises the generic branch.
+  const index_t m = 6, n = 40;
+  auto a = random_matrix<double>(m, n, 11);
+  std::vector<double> ccm(static_cast<std::size_t>(m * m));
+  auto c = MatView<double>::col_major(ccm.data(), m, m);
+  blas::syrk(1.0, MatView<const double>(a.view()), 0.0, c);
+  Matrix<double> ref(m, m);
+  blas::syrk(1.0, MatView<const double>(a.view()), 0.0, ref.view());
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < m; ++j) EXPECT_NEAR(c(i, j), ref(i, j), 1e-11);
+}
+
+TEST(SyrkLayoutTest, AlphaScalesResult) {
+  const index_t m = 4, n = 10;
+  auto a = random_matrix<double>(m, n, 12);
+  Matrix<double> c1(m, m), c2(m, m);
+  blas::syrk(2.5, MatView<const double>(a.view()), 0.0, c1.view());
+  blas::syrk(1.0, MatView<const double>(a.view()), 0.0, c2.view());
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < m; ++j)
+      EXPECT_NEAR(c1(i, j), 2.5 * c2(i, j), 1e-12);
+}
+
+// ------------------------------------------------------------- fast_dot
+
+class FastDotLengthTest : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(FastDotLengthTest, MatchesSequentialSum) {
+  const index_t n = GetParam();
+  Rng rng(100 + static_cast<unsigned>(n));
+  std::vector<double> x(static_cast<std::size_t>(n)),
+      y(static_cast<std::size_t>(n));
+  long double ref = 0;
+  for (index_t i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = rng.normal<double>();
+    y[static_cast<std::size_t>(i)] = rng.normal<double>();
+    ref += static_cast<long double>(x[static_cast<std::size_t>(i)]) *
+           y[static_cast<std::size_t>(i)];
+  }
+  const double got = blas::detail::fast_dot(n, x.data(), y.data());
+  EXPECT_NEAR(got, static_cast<double>(ref),
+              1e-13 * (1 + std::abs(static_cast<double>(ref))) +
+                  1e-13 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FastDotLengthTest,
+                         ::testing::Values(0, 1, 3, 7, 8, 9, 15, 16, 17, 64,
+                                           100, 1023));
+
+// ----------------------------------------------------------------- nrm2
+
+class Nrm2PropertyTest : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(Nrm2PropertyTest, MatchesDoubleReference) {
+  const index_t n = GetParam();
+  Rng rng(200 + static_cast<unsigned>(n));
+  std::vector<float> x(static_cast<std::size_t>(n));
+  double ref = 0;
+  for (auto& v : x) {
+    v = rng.normal<float>();
+    ref += static_cast<double>(v) * v;
+  }
+  ref = std::sqrt(ref);
+  EXPECT_NEAR(blas::nrm2<float>(n, x.data(), 1), static_cast<float>(ref),
+              1e-5 * (ref + 1));
+}
+
+TEST_P(Nrm2PropertyTest, ScaleInvariance) {
+  // ||c x|| = |c| ||x|| across large/small scales, no overflow.
+  const index_t n = std::max<index_t>(1, GetParam());
+  Rng rng(300 + static_cast<unsigned>(n));
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.normal<double>();
+  const double base = blas::nrm2<double>(n, x.data(), 1);
+  for (double c : {1e150, 1e-150, 7.0}) {
+    std::vector<double> y(x);
+    for (auto& v : y) v *= c;
+    EXPECT_NEAR(blas::nrm2<double>(n, y.data(), 1), c * base,
+                1e-10 * c * base);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Nrm2PropertyTest,
+                         ::testing::Values(1, 2, 7, 8, 33, 500));
+
+TEST(Nrm2Test, StridedMatchesContiguous) {
+  std::vector<double> x = {1, 99, 2, 99, 3, 99, 4, 99};
+  std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_NEAR(blas::nrm2<double>(4, x.data(), 2),
+              blas::nrm2<double>(4, y.data(), 1), 1e-14);
+}
+
+}  // namespace
+}  // namespace tucker

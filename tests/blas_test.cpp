@@ -1,0 +1,298 @@
+// Unit tests for the BLAS substrate: strided views, level-1 kernels, gemm
+// and syrk, including the stride patterns the tensor unfoldings produce.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/blas1.hpp"
+#include "blas/gemm.hpp"
+#include "blas/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace tucker {
+namespace {
+
+using blas::index_t;
+using blas::Matrix;
+using blas::MatView;
+
+template <class T>
+Matrix<T> random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<T> a(m, n);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) a(i, j) = rng.normal<T>();
+  return a;
+}
+
+/// Reference O(mnk) matrix product in double accumulation.
+template <class T>
+Matrix<T> ref_gemm(MatView<const T> a, MatView<const T> b) {
+  Matrix<T> c(a.rows(), b.cols());
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < b.cols(); ++j) {
+      double s = 0;
+      for (index_t k = 0; k < a.cols(); ++k)
+        s += static_cast<double>(a(i, k)) * static_cast<double>(b(k, j));
+      c(i, j) = static_cast<T>(s);
+    }
+  return c;
+}
+
+template <class T>
+class BlasTypedTest : public ::testing::Test {};
+using RealTypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(BlasTypedTest, RealTypes);
+
+// ---------------------------------------------------------------- MatView
+
+TEST(MatViewTest, RowMajorIndexing) {
+  std::vector<double> d = {1, 2, 3, 4, 5, 6};
+  auto v = MatView<double>::row_major(d.data(), 2, 3);
+  EXPECT_EQ(v(0, 0), 1);
+  EXPECT_EQ(v(0, 2), 3);
+  EXPECT_EQ(v(1, 0), 4);
+  EXPECT_EQ(v(1, 2), 6);
+}
+
+TEST(MatViewTest, ColMajorIndexing) {
+  std::vector<double> d = {1, 2, 3, 4, 5, 6};
+  auto v = MatView<double>::col_major(d.data(), 2, 3);
+  EXPECT_EQ(v(0, 0), 1);
+  EXPECT_EQ(v(1, 0), 2);
+  EXPECT_EQ(v(0, 1), 3);
+  EXPECT_EQ(v(1, 2), 6);
+}
+
+TEST(MatViewTest, TransposeIsAliasing) {
+  std::vector<double> d = {1, 2, 3, 4, 5, 6};
+  auto v = MatView<double>::row_major(d.data(), 2, 3);
+  auto t = v.t();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t(2, 1), v(1, 2));
+  t(0, 1) = 42;
+  EXPECT_EQ(v(1, 0), 42);
+}
+
+TEST(MatViewTest, BlockViewsShareStorage) {
+  Matrix<double> m(4, 4);
+  for (index_t i = 0; i < 4; ++i)
+    for (index_t j = 0; j < 4; ++j) m(i, j) = static_cast<double>(10 * i + j);
+  auto b = m.view().block(1, 2, 2, 2);
+  EXPECT_EQ(b(0, 0), 12);
+  EXPECT_EQ(b(1, 1), 23);
+  b(0, 0) = -1;
+  EXPECT_EQ(m(1, 2), -1);
+}
+
+TEST(MatViewTest, RowAndColViews) {
+  Matrix<double> m(3, 3);
+  m(1, 0) = 7;
+  m(1, 2) = 9;
+  auto r = m.view().row(1);
+  EXPECT_EQ(r.rows(), 1);
+  EXPECT_EQ(r(0, 0), 7);
+  EXPECT_EQ(r(0, 2), 9);
+  auto c = m.view().col(2);
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c(1, 0), 9);
+}
+
+// ----------------------------------------------------------------- level 1
+
+TYPED_TEST(BlasTypedTest, DotAndAxpy) {
+  using T = TypeParam;
+  std::vector<T> x = {1, 2, 3, 4};
+  std::vector<T> y = {4, 3, 2, 1};
+  EXPECT_NEAR(blas::dot<T>(4, x.data(), 1, y.data(), 1), T(20), T(1e-5));
+  blas::axpy<T>(4, T(2), x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y[0], T(6));
+  EXPECT_EQ(y[3], T(9));
+}
+
+TYPED_TEST(BlasTypedTest, StridedDot) {
+  using T = TypeParam;
+  std::vector<T> x = {1, 0, 2, 0, 3, 0};
+  std::vector<T> y = {1, 1, 1, 1, 1, 1};
+  EXPECT_EQ(blas::dot<T>(3, x.data(), 2, y.data(), 2), T(6));
+}
+
+TYPED_TEST(BlasTypedTest, Nrm2MatchesDefinition) {
+  using T = TypeParam;
+  std::vector<T> x = {3, 4};
+  EXPECT_NEAR(blas::nrm2<T>(2, x.data(), 1), T(5), T(1e-6));
+}
+
+TEST(BlasScaledNormTest, Nrm2AvoidsOverflow) {
+  // Naive sum of squares would overflow float; scaled nrm2 must not.
+  std::vector<float> x = {3e19f, 4e19f};
+  EXPECT_NEAR(blas::nrm2<float>(2, x.data(), 1), 5e19f, 5e19f * 1e-6f);
+}
+
+TEST(BlasScaledNormTest, Nrm2AvoidsUnderflow) {
+  std::vector<double> x = {3e-170, 4e-170};
+  EXPECT_NEAR(blas::nrm2<double>(2, x.data(), 1), 5e-170, 5e-170 * 1e-12);
+}
+
+TEST(BlasScaledNormTest, Nrm2SubnormalInputsStayFinite) {
+  // Regression: 1/amax overflows to inf for subnormal amax; the result must
+  // still be finite and correct to the representable precision. Subnormal
+  // tails arise in single-precision runs on heavily truncated tensors.
+  std::vector<float> x(64, 1e-39f);  // subnormal floats
+  const float r = blas::nrm2<float>(64, x.data(), 1);
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_NEAR(r, 8e-39f, 1e-40f);
+}
+
+TYPED_TEST(BlasTypedTest, SumSquares) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(7, 5, 42);
+  double expect = 0;
+  for (index_t i = 0; i < 7; ++i)
+    for (index_t j = 0; j < 5; ++j)
+      expect += static_cast<double>(a(i, j)) * static_cast<double>(a(i, j));
+  EXPECT_NEAR(blas::sum_squares<T>(a.view()), expect, 1e-4 * expect);
+}
+
+// ------------------------------------------------------------------- gemm
+
+struct GemmShape {
+  index_t m, n, k;
+};
+
+class GemmShapeTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmShapeTest, MatchesReference) {
+  const auto [m, n, k] = GetParam();
+  auto a = random_matrix<double>(m, k, 1);
+  auto b = random_matrix<double>(k, n, 2);
+  Matrix<double> c(m, n);
+  blas::gemm(1.0, MatView<const double>(a.view()),
+             MatView<const double>(b.view()), 0.0, c.view());
+  auto ref = ref_gemm(MatView<const double>(a.view()),
+                      MatView<const double>(b.view()));
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(c.view()),
+                               MatView<const double>(ref.view())),
+            1e-10 * static_cast<double>(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{3, 4, 5},
+                      GemmShape{16, 16, 16}, GemmShape{5, 600, 7},
+                      GemmShape{64, 3, 128}, GemmShape{30, 70, 90},
+                      GemmShape{129, 65, 33}, GemmShape{2, 1024, 2}));
+
+TEST(GemmTest, TransposedViews) {
+  auto a = random_matrix<double>(6, 9, 3);
+  auto b = random_matrix<double>(6, 4, 4);
+  // C = A^T * B via views.
+  Matrix<double> c(9, 4);
+  blas::gemm(1.0, MatView<const double>(a.view().t()),
+             MatView<const double>(b.view()), 0.0, c.view());
+  auto ref = ref_gemm(MatView<const double>(a.view().t()),
+                      MatView<const double>(b.view()));
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(c.view()),
+                               MatView<const double>(ref.view())),
+            1e-12);
+}
+
+TEST(GemmTest, AlphaBetaSemantics) {
+  auto a = random_matrix<double>(4, 3, 5);
+  auto b = random_matrix<double>(3, 5, 6);
+  auto c0 = random_matrix<double>(4, 5, 7);
+  Matrix<double> c = c0;
+  blas::gemm(2.0, MatView<const double>(a.view()),
+             MatView<const double>(b.view()), 0.5, c.view());
+  auto ab = ref_gemm(MatView<const double>(a.view()),
+                     MatView<const double>(b.view()));
+  for (index_t i = 0; i < 4; ++i)
+    for (index_t j = 0; j < 5; ++j)
+      EXPECT_NEAR(c(i, j), 2.0 * ab(i, j) + 0.5 * c0(i, j), 1e-12);
+}
+
+TEST(GemmTest, BetaZeroOverwritesNaN) {
+  // beta = 0 must overwrite even NaN garbage in C (BLAS semantics).
+  auto a = random_matrix<double>(2, 2, 8);
+  auto b = random_matrix<double>(2, 2, 9);
+  Matrix<double> c(2, 2);
+  c(0, 0) = std::nan("");
+  blas::gemm(1.0, MatView<const double>(a.view()),
+             MatView<const double>(b.view()), 0.0, c.view());
+  EXPECT_FALSE(std::isnan(c(0, 0)));
+}
+
+TEST(GemmTest, EmptyKProducesBetaC) {
+  Matrix<double> a(3, 0), b(0, 2), c(3, 2);
+  c(1, 1) = 5;
+  blas::gemm(1.0, MatView<const double>(a.view()),
+             MatView<const double>(b.view()), 1.0, c.view());
+  EXPECT_EQ(c(1, 1), 5);
+}
+
+// ------------------------------------------------------------------- syrk
+
+class SyrkShapeTest
+    : public ::testing::TestWithParam<std::pair<index_t, index_t>> {};
+
+TEST_P(SyrkShapeTest, MatchesGemmAAt) {
+  const auto [m, n] = GetParam();
+  auto a = random_matrix<double>(m, n, 11);
+  Matrix<double> c(m, m);
+  blas::syrk(1.0, MatView<const double>(a.view()), 0.0, c.view());
+  Matrix<double> ref(m, m);
+  blas::gemm(1.0, MatView<const double>(a.view()),
+             MatView<const double>(a.view().t()), 0.0, ref.view());
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(c.view()),
+                               MatView<const double>(ref.view())),
+            1e-10 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SyrkShapeTest,
+                         ::testing::Values(std::pair<index_t, index_t>{1, 1},
+                                           std::pair<index_t, index_t>{4, 9},
+                                           std::pair<index_t, index_t>{17, 3},
+                                           std::pair<index_t, index_t>{32, 2000},
+                                           std::pair<index_t, index_t>{60, 60}));
+
+TEST(SyrkTest, ResultIsSymmetric) {
+  auto a = random_matrix<double>(20, 300, 13);
+  Matrix<double> c(20, 20);
+  blas::syrk(1.0, MatView<const double>(a.view()), 0.0, c.view());
+  for (index_t i = 0; i < 20; ++i)
+    for (index_t j = 0; j < 20; ++j) EXPECT_EQ(c(i, j), c(j, i));
+}
+
+TEST(SyrkTest, AccumulatesWithBetaOne) {
+  auto a = random_matrix<double>(5, 40, 14);
+  Matrix<double> c(5, 5);
+  // Two half-width updates must equal one full-width update.
+  blas::syrk(1.0, MatView<const double>(a.view().block(0, 0, 5, 20)), 0.0,
+             c.view());
+  blas::syrk(1.0, MatView<const double>(a.view().block(0, 20, 5, 20)), 1.0,
+             c.view());
+  Matrix<double> full(5, 5);
+  blas::syrk(1.0, MatView<const double>(a.view()), 0.0, full.view());
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(c.view()),
+                               MatView<const double>(full.view())),
+            1e-12);
+}
+
+// ------------------------------------------------------------- flop counts
+
+TEST(FlopCountTest, GemmReportsNominalFlops) {
+  reset_thread_flops();
+  auto a = random_matrix<double>(8, 16, 20);
+  auto b = random_matrix<double>(16, 4, 21);
+  Matrix<double> c(8, 4);
+  reset_thread_flops();
+  blas::gemm(1.0, MatView<const double>(a.view()),
+             MatView<const double>(b.view()), 0.0, c.view());
+  EXPECT_EQ(thread_flops(), 2 * 8 * 4 * 16);
+}
+
+}  // namespace
+}  // namespace tucker

@@ -1,0 +1,187 @@
+// Tests for the future-work extensions (paper Sec 5): mixed-precision
+// Gram-SVD, the randomized range finder, and greedy mode ordering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/extensions.hpp"
+#include "core/sthosvd.hpp"
+#include "data/synthetic_matrix.hpp"
+#include "data/synthetic_tensor.hpp"
+
+namespace tucker {
+namespace {
+
+using blas::index_t;
+using core::ExtendedMethod;
+using core::SvdMethod;
+using core::TruncationSpec;
+using tensor::Dims;
+using tensor::Tensor;
+
+// -------------------------------------------------------- mixed precision
+
+TEST(GramMixedTest, ResolvesBelowSqrtEpsSingle) {
+  // Spectrum spanning 1e0..1e-5 in float: plain Gram-single floors near
+  // sqrt(eps_s) ~ 3e-4; double accumulation must track the full range.
+  auto xd = data::tensor_with_spectra(
+      {16, 14, 12}, {data::DecayProfile::geometric(1, 1e-5),
+                     data::DecayProfile::geometric(1, 1e-5),
+                     data::DecayProfile::geometric(1, 1e-5)},
+      311);
+  auto x = data::round_tensor_to<float>(xd);
+
+  auto plain = core::gram_svd(x, 0);
+  auto mixed = core::gram_svd_mixed(x, 0);
+  // Reference from the double-precision data.
+  auto ref = core::qr_svd(xd, 0);
+
+  const double s0 = std::sqrt(static_cast<double>(ref.sigma_sq[0]));
+  // Check a singular value deep in the spectrum (sigma ~ 1e-4 * s0).
+  std::size_t deep = 0;
+  for (std::size_t i = 0; i < ref.sigma_sq.size(); ++i) {
+    const double s = std::sqrt(static_cast<double>(ref.sigma_sq[i]));
+    if (s < 2e-4 * s0) {
+      deep = i;
+      break;
+    }
+  }
+  ASSERT_GT(deep, 0u);
+  const double truth = std::sqrt(static_cast<double>(ref.sigma_sq[deep]));
+  const double got_mixed =
+      std::sqrt(static_cast<double>(mixed.sigma_sq[deep]));
+  const double got_plain =
+      std::sqrt(static_cast<double>(plain.sigma_sq[deep]));
+  // Mixed tracks within ~eps_s relative noise of the float data.
+  EXPECT_NEAR(got_mixed, truth, 0.3 * truth + 3e-7 * s0);
+  // Plain Gram-single is substantially worse at this depth.
+  EXPECT_GT(std::abs(got_plain - truth), std::abs(got_mixed - truth));
+}
+
+TEST(GramMixedTest, MatchesPlainGramOnEasySpectrum) {
+  auto xd = data::tensor_with_spectra(
+      {10, 9, 8}, {data::DecayProfile::geometric(1, 1e-1),
+                   data::DecayProfile::geometric(1, 1e-1),
+                   data::DecayProfile::geometric(1, 1e-1)},
+      313);
+  auto x = data::round_tensor_to<float>(xd);
+  auto plain = core::gram_svd(x, 1);
+  auto mixed = core::gram_svd_mixed(x, 1);
+  ASSERT_EQ(plain.sigma_sq.size(), mixed.sigma_sq.size());
+  for (std::size_t i = 0; i < plain.sigma_sq.size(); ++i)
+    EXPECT_NEAR(plain.sigma_sq[i], mixed.sigma_sq[i],
+                1e-4f * plain.sigma_sq[0]);
+}
+
+TEST(GramMixedTest, SthosvdMeetsToleranceWherePlainGramFails) {
+  // The point of the extension: tolerance 1e-4 in single precision.
+  auto xd = data::tensor_with_spectra(
+      {16, 14, 12}, {data::DecayProfile::geometric(1, 1e-7),
+                     data::DecayProfile::geometric(1, 1e-7),
+                     data::DecayProfile::geometric(1, 1e-7)},
+      317);
+  auto x = data::round_tensor_to<float>(xd);
+
+  auto plain = core::sthosvd(x, TruncationSpec::tolerance(1e-4),
+                             SvdMethod::kGram);
+  auto mixed = core::sthosvd_extended(x, TruncationSpec::tolerance(1e-4),
+                                      ExtendedMethod::kGramMixed);
+  // Plain Gram-single cannot certify much truncation; mixed compresses.
+  EXPECT_LT(2 * mixed.tucker.parameter_count(),
+            plain.tucker.parameter_count());
+  EXPECT_LE(core::relative_error(x, mixed.tucker), 2e-4);
+}
+
+// ------------------------------------------------------------- randomized
+
+TEST(RandomizedSvdTest, RecoversExactLowRankSubspace) {
+  // Rank-3 tensor in mode 0: the randomized basis must capture it exactly.
+  Rng rng(401);
+  Tensor<double> core = data::random_tensor<double>({3, 8, 7}, 402);
+  auto u0 = data::random_orthonormal(12, 3, rng);
+  auto x = tensor::ttm(core, 0, blas::MatView<const double>(u0.view()));
+
+  auto rsvd = core::randomized_svd(x, 0, 3);
+  EXPECT_EQ(rsvd.u.cols(), 3);
+  // Projection residual of the unfolding through U must be ~0.
+  auto y = tensor::ttm(x, 0, blas::MatView<const double>(rsvd.u.view().t()));
+  auto back = tensor::ttm(y, 0, blas::MatView<const double>(rsvd.u.view()));
+  double diff = 0;
+  for (index_t i = 0; i < x.size(); ++i) {
+    const double d = x.data()[i] - back.data()[i];
+    diff += d * d;
+  }
+  EXPECT_LE(std::sqrt(diff / x.norm_squared()), 1e-10);
+}
+
+TEST(RandomizedSvdTest, FixedRankSthosvdComparableToQr) {
+  auto x = data::tensor_with_spectra(
+      {14, 12, 10}, {data::DecayProfile::geometric(1, 1e-4),
+                     data::DecayProfile::geometric(1, 1e-4),
+                     data::DecayProfile::geometric(1, 1e-4)},
+      407);
+  const auto spec = TruncationSpec::fixed_ranks({5, 5, 5});
+  auto qr = core::sthosvd(x, spec, SvdMethod::kQr);
+  auto rnd = core::sthosvd_extended(x, spec, ExtendedMethod::kRandomized);
+  const double e_qr = core::relative_error(x, qr.tucker);
+  const double e_rnd = core::relative_error(x, rnd.tucker);
+  EXPECT_EQ(rnd.tucker.core.dims(), (Dims{5, 5, 5}));
+  // Randomized with oversampling + one refinement pass stays within a
+  // modest factor of the deterministic error.
+  EXPECT_LE(e_rnd, 3 * e_qr + 1e-12);
+}
+
+TEST(RandomizedSvdTest, CheaperThanGramForSmallRank) {
+  auto x = data::random_tensor<double>({24, 16, 16}, 409);
+  reset_thread_flops();
+  (void)core::randomized_svd(x, 0, 3, /*oversample=*/4);
+  const auto rand_flops = thread_flops();
+  reset_thread_flops();
+  (void)core::gram_svd(x, 0);
+  const auto gram_flops = thread_flops();
+  EXPECT_LT(rand_flops, gram_flops);
+}
+
+TEST(RandomizedSvdTest, ToleranceModeIsRejected) {
+  auto x = data::random_tensor<double>({6, 5, 4}, 411);
+  EXPECT_DEATH((void)core::sthosvd_extended(x, TruncationSpec::tolerance(1e-2),
+                                            ExtendedMethod::kRandomized),
+               "randomized ST-HOSVD requires fixed ranks");
+}
+
+// ----------------------------------------------------------- mode ordering
+
+TEST(GreedyOrderTest, MostTruncatingModeFirst) {
+  auto order = core::greedy_order({10, 10, 10}, {1, 5, 2});
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 2, 1}));
+}
+
+TEST(GreedyOrderTest, TiesKeepModeOrder) {
+  auto order = core::greedy_order({10, 20, 10}, {5, 10, 5});
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(GreedyOrderTest, EmptyRanksFallsBackToForward) {
+  auto order = core::greedy_order({4, 5, 6}, {});
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(GreedyOrderTest, GreedyOrderReducesWork) {
+  // Processing the most-truncating mode first does no more flops than the
+  // reverse order for a fixed-rank decomposition.
+  auto x = data::random_tensor<double>({20, 20, 20}, 413);
+  const auto spec = TruncationSpec::fixed_ranks({2, 10, 18});
+  auto greedy = core::greedy_order({20, 20, 20}, {2, 10, 18});
+  reset_thread_flops();
+  (void)core::sthosvd(x, spec, SvdMethod::kQr, greedy);
+  const auto greedy_flops = thread_flops();
+  std::vector<std::size_t> reverse(greedy.rbegin(), greedy.rend());
+  reset_thread_flops();
+  (void)core::sthosvd(x, spec, SvdMethod::kQr, reverse);
+  const auto reverse_flops = thread_flops();
+  EXPECT_LT(greedy_flops, reverse_flops);
+}
+
+}  // namespace
+}  // namespace tucker

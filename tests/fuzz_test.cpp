@@ -1,0 +1,112 @@
+// Randomized property tests: random tensor shapes, processor grids,
+// methods and precisions, all checked against the sequential reference.
+// Each seed derives a full configuration deterministically, so failures
+// reproduce exactly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/par_sthosvd.hpp"
+#include "core/sthosvd.hpp"
+#include "data/synthetic_tensor.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace tucker {
+namespace {
+
+using blas::index_t;
+using core::SvdMethod;
+using core::TruncationSpec;
+using dist::DistTensor;
+using dist::ProcessorGrid;
+using tensor::Dims;
+using tensor::Tensor;
+
+struct FuzzConfig {
+  Dims dims;
+  Dims grid;
+  SvdMethod method;
+  bool backward;
+  double tolerance;
+};
+
+FuzzConfig make_config(std::uint64_t seed) {
+  Rng rng(seed * 2654435761u + 17);
+  FuzzConfig cfg;
+  const std::size_t order = 3 + rng.index(3);  // 3..5 modes
+  cfg.dims.resize(order);
+  cfg.grid.resize(order);
+  int total_ranks = 1;
+  for (std::size_t n = 0; n < order; ++n) {
+    cfg.dims[n] = static_cast<index_t>(3 + rng.index(6));  // 3..8
+    index_t p = 1 + static_cast<index_t>(rng.index(2));    // 1..2
+    if (total_ranks * p > 8) p = 1;
+    cfg.grid[n] = p;
+    total_ranks *= static_cast<int>(p);
+  }
+  cfg.method = rng.index(2) == 0 ? SvdMethod::kQr : SvdMethod::kGram;
+  cfg.backward = rng.index(2) == 0;
+  cfg.tolerance = rng.index(2) == 0 ? 1e-2 : 1e-3;
+  return cfg;
+}
+
+Tensor<double> make_tensor(const Dims& dims, std::uint64_t seed) {
+  std::vector<data::DecayProfile> profiles(
+      dims.size(), data::DecayProfile::geometric(1, 1e-4));
+  return data::tensor_with_spectra(dims, profiles, seed);
+}
+
+class FuzzSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeedTest, ParallelMatchesSequential) {
+  const std::uint64_t seed = GetParam();
+  const FuzzConfig cfg = make_config(seed);
+  auto x = make_tensor(cfg.dims, seed);
+  const auto order_vec = cfg.backward
+                             ? core::backward_order(cfg.dims.size())
+                             : core::forward_order(cfg.dims.size());
+  auto seq = core::sthosvd(x, TruncationSpec::tolerance(cfg.tolerance),
+                           cfg.method, order_vec);
+  const double seq_err = core::relative_error(x, seq.tucker);
+  EXPECT_LE(seq_err, cfg.tolerance) << "seed " << seed;
+
+  const int p = ProcessorGrid(cfg.grid).total();
+  mpi::Runtime::run(p, [&](mpi::Comm& world) {
+    DistTensor<double> dt(world, ProcessorGrid(cfg.grid), x.dims());
+    dt.fill_from(x);
+    auto par = core::par_sthosvd(dt, TruncationSpec::tolerance(cfg.tolerance),
+                                 cfg.method, order_vec);
+    EXPECT_EQ(par.ranks, seq.ranks) << "seed " << seed;
+    auto tk = par.gather_to_root();
+    if (world.rank() == 0) {
+      const double par_err = core::relative_error(x, tk);
+      EXPECT_LE(par_err, cfg.tolerance) << "seed " << seed;
+    }
+  });
+}
+
+TEST_P(FuzzSeedTest, FactorsOrthonormalAndCoreContractive) {
+  const std::uint64_t seed = GetParam() + 1000;
+  const FuzzConfig cfg = make_config(seed);
+  auto x = make_tensor(cfg.dims, seed);
+  auto res = core::sthosvd(x, TruncationSpec::tolerance(cfg.tolerance),
+                           cfg.method);
+  for (const auto& u : res.tucker.factors) {
+    blas::Matrix<double> g(u.cols(), u.cols());
+    blas::gemm(1.0, blas::MatView<const double>(u.view().t()),
+               blas::MatView<const double>(u.view()), 0.0, g.view());
+    for (index_t i = 0; i < g.rows(); ++i)
+      for (index_t j = 0; j < g.cols(); ++j)
+        EXPECT_NEAR(g(i, j), i == j ? 1.0 : 0.0, 1e-11) << "seed " << seed;
+  }
+  EXPECT_LE(res.tucker.core.norm_squared(),
+            x.norm_squared() * (1 + 1e-12))
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace tucker

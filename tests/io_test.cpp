@@ -1,0 +1,161 @@
+// Tests for binary tensor and Tucker-container I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/sthosvd.hpp"
+#include "data/synthetic_tensor.hpp"
+#include "io/dist_io.hpp"
+#include "io/tensor_io.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace tucker {
+namespace {
+
+using blas::index_t;
+using tensor::Dims;
+using tensor::Tensor;
+
+std::string tmp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TensorIoTest, RawRoundTrip) {
+  auto x = data::random_tensor<double>({5, 4, 3}, 1);
+  const auto path = tmp_path("raw.bin");
+  io::write_raw_tensor(path, x);
+  auto y = io::read_raw_tensor<double>(path, {5, 4, 3});
+  for (index_t i = 0; i < x.size(); ++i)
+    EXPECT_EQ(x.data()[i], y.data()[i]);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIoTest, RawReinterpretDims) {
+  // Raw format is headerless: the same file can be read under any dims
+  // with the same element count (TuckerMPI semantics).
+  auto x = data::random_tensor<float>({6, 4}, 2);
+  const auto path = tmp_path("raw2.bin");
+  io::write_raw_tensor(path, x);
+  auto y = io::read_raw_tensor<float>(path, {4, 6});
+  EXPECT_EQ(y.size(), x.size());
+  EXPECT_EQ(y.data()[5], x.data()[5]);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIoTest, SelfDescribingRoundTrip) {
+  auto x = data::random_tensor<float>({3, 7, 2, 4}, 3);
+  const auto path = tmp_path("self.tkt");
+  io::write_tensor(path, x);
+  auto y = io::read_tensor<float>(path);
+  EXPECT_EQ(y.dims(), x.dims());
+  for (index_t i = 0; i < x.size(); ++i)
+    EXPECT_EQ(x.data()[i], y.data()[i]);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIoDeathTest, WrongPrecisionRejected) {
+  auto x = data::random_tensor<double>({2, 2}, 4);
+  const auto path = tmp_path("dtype.tkt");
+  io::write_tensor(path, x);
+  EXPECT_DEATH((void)io::read_tensor<float>(path), "precision");
+  std::remove(path.c_str());
+}
+
+TEST(TensorIoDeathTest, GarbageFileRejected) {
+  const auto path = tmp_path("garbage.tkt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const char junk[32] = "not a tensor";
+  std::fwrite(junk, 1, sizeof junk, f);
+  std::fclose(f);
+  EXPECT_DEATH((void)io::read_tensor<double>(path), "tucker tensor file");
+  std::remove(path.c_str());
+}
+
+TEST(TuckerIoTest, DecompositionRoundTrip) {
+  auto x = data::tensor_with_spectra(
+      {10, 9, 8}, {data::DecayProfile::geometric(1, 1e-4),
+                   data::DecayProfile::geometric(1, 1e-4),
+                   data::DecayProfile::geometric(1, 1e-4)},
+      5);
+  auto res = core::sthosvd(x, core::TruncationSpec::tolerance(1e-3),
+                           core::SvdMethod::kQr);
+  const auto path = tmp_path("decomp.tkd");
+  io::write_tucker(path, res.tucker);
+  auto loaded = io::read_tucker<double>(path);
+  EXPECT_EQ(loaded.core.dims(), res.tucker.core.dims());
+  ASSERT_EQ(loaded.factors.size(), 3u);
+  for (std::size_t n = 0; n < 3; ++n) {
+    EXPECT_EQ(loaded.factors[n].rows(), res.tucker.factors[n].rows());
+    EXPECT_EQ(loaded.factors[n].cols(), res.tucker.factors[n].cols());
+  }
+  // Reconstruction from the loaded container matches the original's error.
+  EXPECT_NEAR(core::relative_error(x, loaded),
+              core::relative_error(x, res.tucker), 1e-15);
+  std::remove(path.c_str());
+}
+
+TEST(DistIoTest, ScatterFromRootMatchesFill) {
+  auto full = data::random_tensor<double>({6, 5, 4}, 7);
+  mpi::Runtime::run(4, [&](mpi::Comm& world) {
+    dist::DistTensor<double> a(world, dist::ProcessorGrid({2, 2, 1}),
+                               full.dims());
+    a.fill_from(full);
+    dist::DistTensor<double> b(world, dist::ProcessorGrid({2, 2, 1}),
+                               full.dims());
+    // Only rank 0 supplies data for the scatter.
+    b.scatter_from_root(world.rank() == 0 ? full : Tensor<double>{});
+    for (index_t i = 0; i < a.local().size(); ++i)
+      EXPECT_EQ(a.local().data()[i], b.local().data()[i]);
+  });
+}
+
+TEST(DistIoTest, RawFileRoundTripThroughDistribution) {
+  auto full = data::random_tensor<float>({6, 4, 4}, 8);
+  const auto path = tmp_path("dist_raw.bin");
+  io::write_raw_tensor(path, full);
+  mpi::Runtime::run(4, [&](mpi::Comm& world) {
+    dist::DistTensor<float> dt(world, dist::ProcessorGrid({2, 1, 2}),
+                               full.dims());
+    io::read_raw_dist_tensor(path, dt);
+    const auto out = tmp_path("dist_raw_out.bin");
+    io::write_raw_dist_tensor(out, dt);
+    world.barrier();
+    if (world.rank() == 0) {
+      auto back = io::read_raw_tensor<float>(out, full.dims());
+      for (index_t i = 0; i < full.size(); ++i)
+        EXPECT_EQ(back.data()[i], full.data()[i]);
+      std::remove(out.c_str());
+    }
+  });
+  std::remove(path.c_str());
+}
+
+TEST(DistIoTest, SelfDescribingDistRoundTrip) {
+  auto full = data::random_tensor<double>({5, 6, 3}, 9);
+  const auto path = tmp_path("dist_self.tkt");
+  io::write_tensor(path, full);
+  mpi::Runtime::run(2, [&](mpi::Comm& world) {
+    dist::DistTensor<double> dt(world, dist::ProcessorGrid({2, 1, 1}),
+                                full.dims());
+    io::read_dist_tensor(path, dt);
+    EXPECT_NEAR(dt.norm_squared(), full.norm_squared(), 1e-9);
+  });
+  std::remove(path.c_str());
+}
+
+TEST(TuckerIoTest, CompressionSurvivesRoundTrip) {
+  auto x = data::random_tensor<float>({8, 8, 8}, 6);
+  auto res = core::sthosvd(x, core::TruncationSpec::fixed_ranks({3, 3, 3}),
+                           core::SvdMethod::kGram);
+  const auto path = tmp_path("decompf.tkd");
+  io::write_tucker(path, res.tucker);
+  auto loaded = io::read_tucker<float>(path);
+  EXPECT_DOUBLE_EQ(loaded.compression_ratio(),
+                   res.tucker.compression_ratio());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tucker

@@ -1,0 +1,252 @@
+// Additional LAPACK coverage: recursive QR (geqr3) against the unblocked
+// kernel, block reflector application, subnormal reflector rescue, and
+// SVD/EVD edge cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/blas1.hpp"
+#include "blas/gemm.hpp"
+#include "blas/matrix.hpp"
+#include "common/rng.hpp"
+#include "data/synthetic_matrix.hpp"
+#include "lapack/eig.hpp"
+#include "lapack/qr.hpp"
+#include "lapack/svd.hpp"
+
+namespace tucker {
+namespace {
+
+using blas::index_t;
+using blas::Matrix;
+using blas::MatView;
+
+template <class T>
+Matrix<T> random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<T> a(m, n);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) a(i, j) = rng.normal<T>();
+  return a;
+}
+
+template <class T>
+Matrix<T> gram_of(MatView<const T> r) {
+  Matrix<T> g(r.cols(), r.cols());
+  blas::gemm(T(1), MatView<const T>(r.t()), r, T(0), g.view());
+  return g;
+}
+
+// -------------------------------------------------------- recursive geqr3
+
+struct Tall {
+  index_t m, n;
+};
+
+class Geqr3ShapeTest : public ::testing::TestWithParam<Tall> {};
+
+TEST_P(Geqr3ShapeTest, MatchesUnblockedFactorization) {
+  const auto [m, n] = GetParam();
+  auto a0 = random_matrix<double>(m, n, 500 + static_cast<unsigned>(m + n));
+
+  Matrix<double> a1 = a0;
+  std::vector<double> tau1(static_cast<std::size_t>(n));
+  Matrix<double> tmat(n, n);
+  la::detail::geqr3(a1.view(), tmat.view(), tau1.data());
+
+  Matrix<double> a2 = a0;
+  std::vector<double> tau2(static_cast<std::size_t>(n));
+  la::detail::geqrf_unblocked(a2.view(), tau2.data());
+
+  // Same reflectors, same R, same taus (both eliminate column by column;
+  // only rounding differs).
+  for (index_t j = 0; j < n; ++j)
+    EXPECT_NEAR(tau1[static_cast<std::size_t>(j)],
+                tau2[static_cast<std::size_t>(j)], 1e-10)
+        << "tau " << j;
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(a1.view()),
+                               MatView<const double>(a2.view())),
+            1e-9);
+}
+
+TEST_P(Geqr3ShapeTest, TMatrixReproducesQ) {
+  // Q from (I - Y T Y^T) applied to I must equal form_q's reflector chain.
+  const auto [m, n] = GetParam();
+  auto a = random_matrix<double>(m, n, 600 + static_cast<unsigned>(m * n));
+  std::vector<double> tau(static_cast<std::size_t>(n));
+  Matrix<double> tmat(n, n);
+  la::detail::geqr3(a.view(), tmat.view(), tau.data());
+
+  // Apply Q^T via the block reflector to the identity: rows of Q^T.
+  Matrix<double> qt_block = Matrix<double>::identity(m);
+  la::detail::apply_block_qt(MatView<const double>(a.view()),
+                             MatView<const double>(tmat.view()),
+                             qt_block.view());
+  // Q columns from the reflector chain.
+  auto q = la::form_q(MatView<const double>(a.view()), tau, m);
+  // Q^T from apply_block_qt should equal q^T.
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < m; ++j)
+      EXPECT_NEAR(qt_block(i, j), q(j, i), 1e-10) << i << "," << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Geqr3ShapeTest,
+                         ::testing::Values(Tall{8, 1}, Tall{9, 2}, Tall{16, 3},
+                                           Tall{20, 5}, Tall{33, 8},
+                                           Tall{64, 17}, Tall{128, 31}));
+
+TEST(GeqrfBlockedTest, WidePanelsMatchReferenceGram) {
+  // Wide enough to hit multiple 64-column panels.
+  const index_t m = 200, n = 150;
+  auto a0 = random_matrix<double>(m, n, 700);
+  Matrix<double> a = a0;
+  std::vector<double> tau;
+  la::geqrf(a.view(), tau);
+  auto r = la::extract_r<double>(a.view());
+  auto got = gram_of(MatView<const double>(r.view()));
+  Matrix<double> expect(n, n);
+  blas::gemm(1.0, MatView<const double>(a0.view().t()),
+             MatView<const double>(a0.view()), 0.0, expect.view());
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(got.view()),
+                               MatView<const double>(expect.view())),
+            1e-9 * static_cast<double>(m));
+}
+
+TEST(GeqrfBlockedTest, FloatPathStable) {
+  const index_t m = 180, n = 96;
+  auto a0d = random_matrix<double>(m, n, 701);
+  auto a0 = data::round_to<float>(a0d);
+  Matrix<float> a = a0;
+  std::vector<float> tau;
+  la::geqrf(a.view(), tau);
+  auto q = la::form_q(MatView<const float>(a.view()), tau, n);
+  // Orthogonality at float level.
+  Matrix<float> g(n, n);
+  blas::gemm(1.0f, MatView<const float>(q.view().t()),
+             MatView<const float>(q.view()), 0.0f, g.view());
+  float e = 0;
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      e = std::max(e, std::abs(g(i, j) - (i == j ? 1.0f : 0.0f)));
+  EXPECT_LE(e, 5e-5f);
+}
+
+// ----------------------------------------------------- reflector rescue
+
+TEST(MakeReflectorTest, SubnormalColumnStaysFinite) {
+  // Regression for the NaN found in single-precision butterfly reductions:
+  // all-subnormal columns must produce a finite, orthogonal reflector.
+  std::vector<float> x = {1e-39f, -2e-39f, 3e-40f};
+  float alpha = 5e-40f;
+  const float tau = la::make_reflector(alpha, 3, x.data(), 1);
+  EXPECT_TRUE(std::isfinite(tau));
+  EXPECT_TRUE(std::isfinite(alpha));
+  for (float v : x) EXPECT_TRUE(std::isfinite(v));
+  // |beta| equals the norm of the original 4-vector (to float accuracy).
+  const double ref = std::sqrt(5e-40 * 5e-40 + 1e-39 * 1e-39 +
+                               4e-78 + 9e-80);
+  EXPECT_NEAR(std::abs(alpha), ref, 0.01 * ref);
+}
+
+TEST(MakeReflectorTest, QrOfSubnormalMatrixIsFinite) {
+  Matrix<float> a(6, 3);
+  Rng rng(702);
+  for (index_t i = 0; i < 6; ++i)
+    for (index_t j = 0; j < 3; ++j)
+      a(i, j) = static_cast<float>(rng.normal<double>() * 1e-39);
+  std::vector<float> tau;
+  la::geqrf(a.view(), tau);
+  for (index_t i = 0; i < 6; ++i)
+    for (index_t j = 0; j < 3; ++j)
+      EXPECT_TRUE(std::isfinite(a(i, j))) << i << "," << j;
+}
+
+TEST(MakeReflectorTest, LargeValuesNoOverflow) {
+  std::vector<double> x = {1e160, -2e160};
+  double alpha = 3e160;
+  const double tau = la::make_reflector(alpha, 2, x.data(), 1);
+  EXPECT_TRUE(std::isfinite(tau));
+  EXPECT_TRUE(std::isfinite(alpha));
+  EXPECT_NEAR(std::abs(alpha), std::sqrt(14.0) * 1e160, 1e146);
+}
+
+// --------------------------------------------------------- SVD/EVD edges
+
+TEST(JacobiSvdEdgeTest, ZeroMatrix) {
+  Matrix<double> a(5, 5);
+  auto r = la::jacobi_svd(MatView<const double>(a.view()));
+  for (double s : r.sigma) EXPECT_EQ(s, 0.0);
+  // U must still be orthonormal (completed basis).
+  Matrix<double> g(5, 5);
+  blas::gemm(1.0, MatView<const double>(r.u.view().t()),
+             MatView<const double>(r.u.view()), 0.0, g.view());
+  for (index_t i = 0; i < 5; ++i)
+    for (index_t j = 0; j < 5; ++j)
+      EXPECT_NEAR(g(i, j), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(JacobiSvdEdgeTest, OneByOne) {
+  Matrix<double> a(1, 1);
+  a(0, 0) = -4;
+  auto r = la::jacobi_svd(MatView<const double>(a.view()));
+  EXPECT_NEAR(r.sigma[0], 4.0, 1e-15);
+  EXPECT_NEAR(std::abs(r.u(0, 0)), 1.0, 1e-15);
+}
+
+TEST(JacobiSvdEdgeTest, RepeatedSingularValues) {
+  // sigma = {2, 2, 1}: U columns for the repeated pair are only determined
+  // up to rotation, but orthogonality and the values must hold.
+  auto a = data::matrix_with_spectrum(8, 8, {2.0, 2.0, 1.0}, 703);
+  auto r = la::jacobi_svd(MatView<const double>(a.view()));
+  EXPECT_NEAR(r.sigma[0], 2.0, 1e-12);
+  EXPECT_NEAR(r.sigma[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.sigma[2], 1.0, 1e-12);
+  Matrix<double> g(8, 8);
+  blas::gemm(1.0, MatView<const double>(r.u.view().t()),
+             MatView<const double>(r.u.view()), 0.0, g.view());
+  for (index_t i = 0; i < 8; ++i) EXPECT_NEAR(g(i, i), 1.0, 1e-12);
+}
+
+TEST(JacobiSvdEdgeTest, NoiseFloorSkipTerminatesQuickly) {
+  // A matrix with many zero columns must converge in very few sweeps (the
+  // noise-pair skip), not run to max_sweeps.
+  Matrix<double> a(40, 40);
+  auto small = data::matrix_with_spectrum(40, 3, {1.0, 0.5, 0.25}, 704);
+  for (index_t i = 0; i < 40; ++i)
+    for (index_t j = 0; j < 3; ++j) a(i, j) = small(i, j);
+  auto r = la::jacobi_svd(MatView<const double>(a.view()));
+  EXPECT_LE(r.sweeps, 12);
+  EXPECT_NEAR(r.sigma[0], 1.0, 1e-12);
+}
+
+TEST(JacobiEigEdgeTest, NegativeDefinite) {
+  Rng rng(705);
+  auto g0 = data::gaussian_matrix(6, 12, rng);
+  Matrix<double> g(6, 6);
+  blas::syrk(-1.0, MatView<const double>(g0.view()), 0.0, g.view());
+  auto r = la::jacobi_eig(MatView<const double>(g.view()));
+  for (double lam : r.lambda) EXPECT_LT(lam, 0.0);
+}
+
+TEST(JacobiEigEdgeTest, AlreadyDiagonalConvergesInstantly) {
+  Matrix<double> a(5, 5);
+  for (index_t i = 0; i < 5; ++i) a(i, i) = static_cast<double>(i + 1);
+  auto r = la::jacobi_eig(MatView<const double>(a.view()));
+  EXPECT_EQ(r.sweeps, 0);
+  EXPECT_NEAR(r.lambda[0], 5.0, 1e-15);
+}
+
+TEST(JacobiEigEdgeTest, TwoByTwoExact) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = a(1, 0) = 1;
+  a(1, 1) = 2;
+  auto r = la::jacobi_eig(MatView<const double>(a.view()));
+  EXPECT_NEAR(r.lambda[0], 3.0, 1e-14);
+  EXPECT_NEAR(r.lambda[1], 1.0, 1e-14);
+}
+
+}  // namespace
+}  // namespace tucker

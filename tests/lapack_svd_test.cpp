@@ -1,0 +1,231 @@
+// Unit tests for the Jacobi SVD and symmetric eigendecomposition, including
+// the paper's core numerical claim: QR-SVD resolves singular values down to
+// eps*||A|| while the Gram approach floors at sqrt(eps)*||A||.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/blas1.hpp"
+#include "blas/gemm.hpp"
+#include "blas/matrix.hpp"
+#include "common/precision.hpp"
+#include "common/rng.hpp"
+#include "data/synthetic_matrix.hpp"
+#include "lapack/eig.hpp"
+#include "lapack/qr.hpp"
+#include "lapack/svd.hpp"
+
+namespace tucker {
+namespace {
+
+using blas::index_t;
+using blas::Matrix;
+using blas::MatView;
+
+template <class T>
+T orthogonality_error(MatView<const T> q) {
+  Matrix<T> g(q.cols(), q.cols());
+  blas::gemm(T(1), MatView<const T>(q.t()), q, T(0), g.view());
+  T e = T(0);
+  for (index_t i = 0; i < g.rows(); ++i)
+    for (index_t j = 0; j < g.cols(); ++j)
+      e = std::max(e, std::abs(g(i, j) - (i == j ? T(1) : T(0))));
+  return e;
+}
+
+// -------------------------------------------------------------- jacobi_svd
+
+TEST(JacobiSvdTest, DiagonalMatrix) {
+  Matrix<double> a(4, 4);
+  a(0, 0) = 3;
+  a(1, 1) = 7;
+  a(2, 2) = 1;
+  a(3, 3) = 5;
+  auto r = la::jacobi_svd(MatView<const double>(a.view()));
+  ASSERT_EQ(r.sigma.size(), 4u);
+  EXPECT_NEAR(r.sigma[0], 7, 1e-14);
+  EXPECT_NEAR(r.sigma[1], 5, 1e-14);
+  EXPECT_NEAR(r.sigma[2], 3, 1e-14);
+  EXPECT_NEAR(r.sigma[3], 1, 1e-14);
+  // Leading left vector must be +-e1 of the value 7 -> coordinate 1.
+  EXPECT_NEAR(std::abs(r.u(1, 0)), 1.0, 1e-14);
+}
+
+class SvdSpectrumTest : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(SvdSpectrumTest, RecoversPrescribedSpectrum) {
+  const index_t n = GetParam();
+  auto sigma = data::geometric_spectrum(n, 1.0, 1e-6);
+  auto a = data::matrix_with_spectrum(n, n, sigma, 77);
+  auto r = la::jacobi_svd(MatView<const double>(a.view()));
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(r.sigma[static_cast<std::size_t>(i)],
+                sigma[static_cast<std::size_t>(i)], 1e-13)
+        << "at index " << i;
+  }
+  EXPECT_LE(orthogonality_error(MatView<const double>(r.u.view())), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SvdSpectrumTest,
+                         ::testing::Values(2, 5, 16, 40, 80));
+
+TEST(JacobiSvdTest, TallMatrixLeftVectors) {
+  // A = U S V^T with tall A: U_k must reproduce A's column space.
+  auto sigma = std::vector<double>{5.0, 2.0, 0.5};
+  auto a = data::matrix_with_spectrum(30, 3, sigma, 5);
+  auto r = la::jacobi_svd(MatView<const double>(a.view()));
+  EXPECT_EQ(r.u.rows(), 30);
+  EXPECT_EQ(r.u.cols(), 3);
+  // Projection residual: (I - U U^T) A should be ~0 since rank is 3.
+  Matrix<double> ut_a(3, 30);  // placeholder sizes below
+  Matrix<double> coeff(3, 3);
+  blas::gemm(1.0, MatView<const double>(r.u.view().t()),
+             MatView<const double>(a.view()), 0.0, coeff.view());
+  Matrix<double> proj(30, 3);
+  blas::gemm(1.0, MatView<const double>(r.u.view()),
+             MatView<const double>(coeff.view()), 0.0, proj.view());
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(proj.view()),
+                               MatView<const double>(a.view())),
+            1e-12);
+}
+
+TEST(JacobiSvdTest, RankDeficientBasisCompletion) {
+  // Zero-padded matrix (as in the butterfly's padding case): U must still be
+  // orthonormal even though trailing singular values are exactly zero.
+  Matrix<double> a(6, 6);
+  auto sigma = std::vector<double>{3.0, 1.0};
+  auto small = data::matrix_with_spectrum(6, 2, sigma, 9);
+  for (index_t i = 0; i < 6; ++i)
+    for (index_t j = 0; j < 2; ++j) a(i, j) = small(i, j);
+  auto r = la::jacobi_svd(MatView<const double>(a.view()));
+  EXPECT_NEAR(r.sigma[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.sigma[1], 1.0, 1e-12);
+  for (std::size_t i = 2; i < 6; ++i) EXPECT_LE(r.sigma[i], 1e-12);
+  EXPECT_LE(orthogonality_error(MatView<const double>(r.u.view())), 1e-10);
+}
+
+TEST(JacobiSvdTest, SingleValuesMatchDoubleAboveEps) {
+  auto sigma = data::geometric_spectrum(20, 1.0, 1e-3);
+  auto ad = data::matrix_with_spectrum(20, 20, sigma, 123);
+  auto af = data::round_to<float>(ad);
+  auto rf = la::jacobi_svd(MatView<const float>(af.view()));
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(static_cast<double>(rf.sigma[i]), sigma[i],
+                2e-5 * sigma[0] + 1e-3 * sigma[i])
+        << "at " << i;
+  }
+}
+
+// -------------------------------------------------------------- jacobi_eig
+
+TEST(JacobiEigTest, DiagonalMatrix) {
+  Matrix<double> a(3, 3);
+  a(0, 0) = -2;
+  a(1, 1) = 5;
+  a(2, 2) = 0.5;
+  auto r = la::jacobi_eig(MatView<const double>(a.view()));
+  // Sorted by |lambda| descending: 5, -2, 0.5.
+  EXPECT_NEAR(r.lambda[0], 5, 1e-14);
+  EXPECT_NEAR(r.lambda[1], -2, 1e-14);
+  EXPECT_NEAR(r.lambda[2], 0.5, 1e-14);
+}
+
+TEST(JacobiEigTest, ReconstructsSymmetricMatrix) {
+  Rng rng(31);
+  const index_t n = 24;
+  auto g = data::gaussian_matrix(n, n, rng);
+  Matrix<double> a(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) a(i, j) = g(i, j) + g(j, i);
+  auto r = la::jacobi_eig(MatView<const double>(a.view()));
+  EXPECT_LE(orthogonality_error(MatView<const double>(r.v.view())), 1e-12);
+  // A v_i = lambda_i v_i.
+  Matrix<double> av(n, n);
+  blas::gemm(1.0, MatView<const double>(a.view()),
+             MatView<const double>(r.v.view()), 0.0, av.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      EXPECT_NEAR(av(i, j), r.lambda[static_cast<std::size_t>(j)] * r.v(i, j),
+                  1e-11 * std::abs(r.lambda[0]));
+}
+
+TEST(JacobiEigTest, GramOfSpectrumMatrix) {
+  // Eigenvalues of A A^T are sigma_i^2.
+  auto sigma = data::geometric_spectrum(10, 2.0, 1e-2);
+  auto a = data::matrix_with_spectrum(10, 50, sigma, 40);
+  Matrix<double> gram(10, 10);
+  blas::syrk(1.0, MatView<const double>(a.view()), 0.0, gram.view());
+  auto r = la::jacobi_eig(MatView<const double>(gram.view()));
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_NEAR(r.lambda[i], sigma[i] * sigma[i], 1e-12 * sigma[0] * sigma[0]);
+}
+
+// ------------------------------------------------- the paper's Theorem 1/2
+
+TEST(AccuracyLadderTest, QrSvdResolvesBelowSqrtEpsGramDoesNot) {
+  // Geometric spectrum spanning 1e0..1e-12 in double precision: Gram-SVD
+  // loses everything below ~sqrt(eps_d)=1e-8 while QR-SVD tracks to ~1e-14.
+  const index_t n = 40;
+  auto sigma = data::geometric_spectrum(n, 1.0, 1e-12);
+  auto a = data::matrix_with_spectrum(n, 200, sigma, 314);
+
+  // QR-SVD: LQ then SVD of L.
+  Matrix<double> work = a;
+  std::vector<double> tau;
+  la::gelqf(work.view(), tau);
+  auto l = la::extract_l<double>(work.view());
+  auto qr = la::jacobi_svd(MatView<const double>(l.view()));
+
+  // Gram-SVD: eigendecomposition of A A^T.
+  Matrix<double> gram(n, n);
+  blas::syrk(1.0, MatView<const double>(a.view()), 0.0, gram.view());
+  auto ge = la::jacobi_eig(MatView<const double>(gram.view()));
+
+  for (index_t i = 0; i < n; ++i) {
+    const double truth = sigma[static_cast<std::size_t>(i)];
+    const double got_qr = qr.sigma[static_cast<std::size_t>(i)];
+    const double got_gram =
+        std::sqrt(std::abs(ge.lambda[static_cast<std::size_t>(i)]));
+    if (truth >= 1e-7) {
+      // QR-SVD: absolute error O(eps ||A||) (Theorem 1). Gram-SVD: absolute
+      // error O(eps ||A||^2 / sigma_i) (Theorem 2), i.e. it degrades as the
+      // values shrink but is still meaningful above sqrt(eps).
+      EXPECT_NEAR(got_qr, truth, 1e-13 + 1e-6 * truth) << i;
+      EXPECT_NEAR(got_gram, truth, 1e-13 + 100 * 1.1e-16 / truth) << i;
+    } else if (truth <= 1e-11) {
+      // QR still within an order of magnitude; Gram has floored near 1e-8.
+      EXPECT_LT(got_qr, 10 * truth + 1e-13) << i;
+      EXPECT_GT(got_gram, 100 * truth) << "Gram should have floored: " << i;
+    }
+  }
+}
+
+TEST(AccuracyLadderTest, FlopRatioQrOverGramIsAboutTwo) {
+  // Sec 3.5: LQ costs ~2 J_n^2 (cols) vs Gram's ~J_n^2 (cols) flops.
+  const index_t m = 32, n = 4096;
+  Rng rng(7);
+  auto a = data::gaussian_matrix(m, n, rng);
+
+  Matrix<double> work = a;
+  std::vector<double> tau;
+  reset_thread_flops();
+  la::gelqf(work.view(), tau);
+  const auto lq_flops = thread_flops();
+
+  Matrix<double> gram(m, m);
+  reset_thread_flops();
+  blas::syrk(1.0, MatView<const double>(a.view()), 0.0, gram.view());
+  const auto gram_flops = thread_flops();
+
+  // ~2x plus the compact-WY T-accumulation overhead of the recursive QR
+  // (up to ~50% of the panel work; LAPACK's blocked QR pays the same).
+  const double ratio =
+      static_cast<double>(lq_flops) / static_cast<double>(gram_flops);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 3.5);
+}
+
+}  // namespace
+}  // namespace tucker

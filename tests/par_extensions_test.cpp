@@ -1,0 +1,145 @@
+// Tests for the distributed randomized ST-HOSVD and the counter-based
+// Gaussian generator it relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/par_extensions.hpp"
+#include "core/par_reconstruct.hpp"
+#include "core/sthosvd.hpp"
+#include "data/synthetic_tensor.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace tucker {
+namespace {
+
+using blas::index_t;
+using blas::Matrix;
+using core::SvdMethod;
+using core::TruncationSpec;
+using dist::DistTensor;
+using dist::ProcessorGrid;
+using tensor::Dims;
+using tensor::Tensor;
+
+// ------------------------------------------------------------ hash_normal
+
+TEST(HashNormalTest, DeterministicAcrossCalls) {
+  EXPECT_EQ(hash_normal(1, 2, 3), hash_normal(1, 2, 3));
+  EXPECT_NE(hash_normal(1, 2, 3), hash_normal(1, 2, 4));
+  EXPECT_NE(hash_normal(1, 2, 3), hash_normal(2, 2, 3));
+}
+
+TEST(HashNormalTest, ApproximatelyStandardNormal) {
+  double sum = 0, sumsq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = hash_normal(42, static_cast<std::uint64_t>(i), 7);
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+// -------------------------------------------------- par randomized sketch
+
+TEST(ParRandomizedSvdTest, ExactLowRankSubspaceRecovered) {
+  Rng rng(6001);
+  Tensor<double> core = data::random_tensor<double>({3, 6, 5}, 6002);
+  auto u0 = data::random_orthonormal(12, 3, rng);
+  auto x = tensor::ttm(core, 0, blas::MatView<const double>(u0.view()));
+
+  mpi::Runtime::run(4, [&](mpi::Comm& world) {
+    DistTensor<double> dt(world, ProcessorGrid({2, 2, 1}), x.dims());
+    dt.fill_from(x);
+    auto rsvd = core::par_randomized_svd(dt, 0, 3);
+    EXPECT_EQ(rsvd.u.cols(), 3);
+    // (I - U U^T) X ~ 0 on the gathered data.
+    auto trunc = dist::par_ttm_truncate(
+        dt, 0, blas::MatView<const double>(rsvd.u.view()));
+    auto back = core::par_reconstruct(
+        trunc, {rsvd.u, Matrix<double>::identity(6),
+                Matrix<double>::identity(5)});
+    auto full = back.gather_to_root();
+    if (world.rank() == 0) {
+      double diff = 0;
+      for (index_t i = 0; i < x.size(); ++i) {
+        const double d = x.data()[i] - full.data()[i];
+        diff += d * d;
+      }
+      EXPECT_LE(std::sqrt(diff / x.norm_squared()), 1e-10);
+    }
+  });
+}
+
+TEST(ParRandomizedSvdTest, ReplicatedIdenticallyAcrossRanksAndGrids) {
+  auto x = data::tensor_with_spectra(
+      {8, 7, 6}, {data::DecayProfile::geometric(1, 1e-3),
+                  data::DecayProfile::geometric(1, 1e-3),
+                  data::DecayProfile::geometric(1, 1e-3)},
+      6003);
+  // Same sketch seed must give the same subspace regardless of the grid.
+  std::vector<double> sig_a, sig_b;
+  mpi::Runtime::run(4, [&](mpi::Comm& world) {
+    DistTensor<double> dt(world, ProcessorGrid({2, 2, 1}), x.dims());
+    dt.fill_from(x);
+    auto r = core::par_randomized_svd(dt, 1, 4, 4, /*seed=*/99);
+    if (world.rank() == 0)
+      sig_a.assign(r.sigma_sq.begin(), r.sigma_sq.end());
+  });
+  mpi::Runtime::run(2, [&](mpi::Comm& world) {
+    DistTensor<double> dt(world, ProcessorGrid({1, 2, 1}), x.dims());
+    dt.fill_from(x);
+    auto r = core::par_randomized_svd(dt, 1, 4, 4, /*seed=*/99);
+    if (world.rank() == 0)
+      sig_b.assign(r.sigma_sq.begin(), r.sigma_sq.end());
+  });
+  ASSERT_EQ(sig_a.size(), sig_b.size());
+  for (std::size_t i = 0; i < sig_a.size(); ++i)
+    EXPECT_NEAR(sig_a[i], sig_b[i], 1e-9 * (sig_a[0] + 1e-30))
+        << "sketches must agree across distributions, i=" << i;
+}
+
+TEST(ParRandomizedSthosvdTest, ErrorComparableToDeterministic) {
+  auto x = data::tensor_with_spectra(
+      {12, 10, 8}, {data::DecayProfile::geometric(1, 1e-4),
+                    data::DecayProfile::geometric(1, 1e-4),
+                    data::DecayProfile::geometric(1, 1e-4)},
+      6004);
+  const std::vector<index_t> ranks = {4, 4, 4};
+  auto det = core::sthosvd(x, TruncationSpec::fixed_ranks(ranks),
+                           SvdMethod::kQr);
+  const double det_err = core::relative_error(x, det.tucker);
+
+  mpi::Runtime::run(4, [&](mpi::Comm& world) {
+    DistTensor<double> dt(world, ProcessorGrid({2, 1, 2}), x.dims());
+    dt.fill_from(x);
+    auto rnd = core::par_sthosvd_randomized(dt, ranks);
+    EXPECT_EQ(rnd.core.global_dims(), (Dims{4, 4, 4}));
+    auto tk = rnd.gather_to_root();
+    if (world.rank() == 0) {
+      const double rnd_err = core::relative_error(x, tk);
+      EXPECT_LE(rnd_err, 3 * det_err + 1e-12);
+    }
+  });
+}
+
+TEST(ParRandomizedSthosvdTest, BackwardOrderWorks) {
+  auto x = data::random_tensor<double>({8, 6, 6, 4}, 6005);
+  mpi::Runtime::run(4, [&](mpi::Comm& world) {
+    DistTensor<double> dt(world, ProcessorGrid({2, 2, 1, 1}), x.dims());
+    dt.fill_from(x);
+    auto rnd = core::par_sthosvd_randomized(dt, {3, 3, 3, 2},
+                                            core::backward_order(4));
+    EXPECT_EQ(rnd.core.global_dims(), (Dims{3, 3, 3, 2}));
+    for (std::size_t n = 0; n < 4; ++n) {
+      EXPECT_EQ(rnd.factors[n].rows(), x.dim(n));
+      EXPECT_EQ(rnd.factors[n].cols(), rnd.ranks[n]);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace tucker

@@ -1,0 +1,289 @@
+// Tests for slice statistics / normalization and region reconstruction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sthosvd.hpp"
+#include "data/synthetic_tensor.hpp"
+#include "dist/par_preprocess.hpp"
+#include "simmpi/runtime.hpp"
+#include "tensor/preprocess.hpp"
+
+namespace tucker {
+namespace {
+
+using blas::index_t;
+using tensor::Dims;
+using tensor::Normalization;
+using tensor::Tensor;
+
+// ------------------------------------------------------------- statistics
+
+TEST(SliceStatsTest, KnownValues) {
+  // 2 x 3 tensor; slices of mode 0 are {1,2,3} and {4,5,6}.
+  Tensor<double> x({2, 3});
+  x({0, 0}) = 1;
+  x({0, 1}) = 2;
+  x({0, 2}) = 3;
+  x({1, 0}) = 4;
+  x({1, 1}) = 5;
+  x({1, 2}) = 6;
+  auto stats = tensor::slice_statistics(x, 0);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats[0].min, 1);
+  EXPECT_DOUBLE_EQ(stats[0].max, 3);
+  EXPECT_DOUBLE_EQ(stats[0].mean, 2);
+  EXPECT_NEAR(stats[0].variance, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats[1].mean, 5);
+}
+
+class SliceStatsModeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SliceStatsModeTest, MeansMatchBruteForce) {
+  const std::size_t n = GetParam();
+  auto x = data::random_tensor<double>({4, 5, 3, 2}, 3000);
+  auto stats = tensor::slice_statistics(x, n);
+  for (index_t s = 0; s < x.dim(n); ++s) {
+    double sum = 0;
+    index_t count = 0;
+    for (index_t lin = 0; lin < x.size(); ++lin) {
+      auto idx = x.multi_index(lin);
+      if (idx[n] != s) continue;
+      sum += x.data()[lin];
+      ++count;
+    }
+    EXPECT_NEAR(stats[static_cast<std::size_t>(s)].mean, sum / count, 1e-12)
+        << "mode " << n << " slice " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SliceStatsModeTest,
+                         ::testing::Values(0u, 1u, 2u, 3u));
+
+// ---------------------------------------------------------- normalization
+
+TEST(NormalizeTest, StandardCenteringZeroMeanUnitVariance) {
+  auto x = data::random_tensor<double>({3, 40, 20}, 3001);
+  // Give slices very different scales (the combustion scenario).
+  for (index_t lin = 0; lin < x.size(); ++lin) {
+    auto idx = x.multi_index(lin);
+    x.data()[lin] = x.data()[lin] * std::pow(10.0, idx[0]) + 5 * idx[0];
+  }
+  (void)tensor::normalize_slices(x, 0, Normalization::kStandardCentering);
+  auto stats = tensor::slice_statistics(x, 0);
+  for (const auto& st : stats) {
+    EXPECT_NEAR(st.mean, 0, 1e-10);
+    EXPECT_NEAR(st.variance, 1, 1e-8);
+  }
+}
+
+TEST(NormalizeTest, MinMaxMapsToUnitInterval) {
+  auto x = data::random_tensor<double>({4, 10, 10}, 3002);
+  (void)tensor::normalize_slices(x, 0, Normalization::kMinMax);
+  auto stats = tensor::slice_statistics(x, 0);
+  for (const auto& st : stats) {
+    EXPECT_NEAR(st.min, 0, 1e-12);
+    EXPECT_NEAR(st.max, 1, 1e-12);
+  }
+}
+
+TEST(NormalizeTest, MaxBoundsMagnitudeByOne) {
+  auto x = data::random_tensor<double>({4, 10, 10}, 3003);
+  (void)tensor::normalize_slices(x, 1, Normalization::kMax);
+  auto stats = tensor::slice_statistics(x, 1);
+  for (const auto& st : stats) {
+    EXPECT_LE(std::max(std::abs(st.min), std::abs(st.max)), 1 + 1e-12);
+    EXPECT_NEAR(std::max(std::abs(st.min), std::abs(st.max)), 1, 1e-10);
+  }
+}
+
+TEST(NormalizeTest, RoundTripRestoresData) {
+  auto x = data::random_tensor<double>({5, 6, 4}, 3004);
+  Tensor<double> orig = x;
+  for (auto kind : {Normalization::kStandardCentering, Normalization::kMinMax,
+                    Normalization::kMax}) {
+    Tensor<double> y = orig;
+    auto tr = tensor::normalize_slices(y, 1, kind);
+    tensor::denormalize_slices(y, tr);
+    for (index_t i = 0; i < y.size(); ++i)
+      EXPECT_NEAR(y.data()[i], orig.data()[i],
+                  1e-11 * (1 + std::abs(orig.data()[i])));
+  }
+}
+
+TEST(NormalizeTest, ConstantSliceIsSafe) {
+  Tensor<double> x({2, 4});
+  for (index_t j = 0; j < 4; ++j) {
+    x({0, j}) = 7;                            // zero-spread slice
+    x({1, j}) = static_cast<double>(j);
+  }
+  auto tr = tensor::normalize_slices(x, 0, Normalization::kMinMax);
+  for (index_t j = 0; j < 4; ++j) EXPECT_EQ(x({0, j}), 0);  // shifted only
+  tensor::denormalize_slices(x, tr);
+  for (index_t j = 0; j < 4; ++j) EXPECT_EQ(x({0, j}), 7);
+}
+
+TEST(NormalizeTest, NormalizationEqualizesTruncation) {
+  // With one slice 1e6 times larger, unnormalized ST-HOSVD spends its whole
+  // budget on that slice; after standard centering the small-scale slices
+  // also get resolved. Check that normalized compression attains the
+  // tolerance *per slice* scale (i.e. the transform composes correctly).
+  auto x = data::tensor_with_spectra(
+      {6, 20, 20}, {data::DecayProfile::geometric(1, 1e-2),
+                    data::DecayProfile::geometric(1, 1e-4),
+                    data::DecayProfile::geometric(1, 1e-4)},
+      3005);
+  for (index_t lin = 0; lin < x.size(); ++lin)
+    x.data()[lin] *= std::pow(10.0, x.multi_index(lin)[0]);
+
+  Tensor<double> y = x;
+  auto tr = tensor::normalize_slices(y, 0, Normalization::kStandardCentering);
+  auto res = core::sthosvd(y, core::TruncationSpec::tolerance(1e-3),
+                           core::SvdMethod::kQr);
+  Tensor<double> yhat = res.tucker.reconstruct();
+  tensor::denormalize_slices(yhat, tr);
+  // Per-slice relative error of the *smallest* slice stays bounded -- the
+  // point of normalizing.
+  double diff0 = 0, ref0 = 0;
+  for (index_t lin = 0; lin < x.size(); ++lin) {
+    if (x.multi_index(lin)[0] != 0) continue;
+    const double d = x.data()[lin] - yhat.data()[lin];
+    diff0 += d * d;
+    ref0 += x.data()[lin] * x.data()[lin];
+  }
+  EXPECT_LE(std::sqrt(diff0 / ref0), 5e-2);
+}
+
+// -------------------------------------------------- distributed preprocess
+
+class ParPreprocessModeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParPreprocessModeTest, StatisticsMatchSequential) {
+  const std::size_t n = GetParam();
+  auto x = data::random_tensor<double>({6, 5, 4}, 3100);
+  auto seq = tensor::slice_statistics(x, n);
+  mpi::Runtime::run(4, [&](mpi::Comm& world) {
+    dist::DistTensor<double> dt(world, dist::ProcessorGrid({2, 2, 1}),
+                                x.dims());
+    dt.fill_from(x);
+    auto par = dist::par_slice_statistics(dt, n);
+    ASSERT_EQ(par.size(), seq.size());
+    for (std::size_t s = 0; s < seq.size(); ++s) {
+      EXPECT_DOUBLE_EQ(par[s].min, seq[s].min) << "mode " << n;
+      EXPECT_DOUBLE_EQ(par[s].max, seq[s].max);
+      EXPECT_NEAR(par[s].mean, seq[s].mean, 1e-12);
+      EXPECT_NEAR(par[s].variance, seq[s].variance, 1e-12);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ParPreprocessModeTest,
+                         ::testing::Values(0u, 1u, 2u));
+
+TEST(ParPreprocessTest, NormalizeMatchesSequential) {
+  auto x = data::random_tensor<double>({6, 5, 4}, 3101);
+  Tensor<double> seq = x;
+  auto seq_tr =
+      tensor::normalize_slices(seq, 1, Normalization::kStandardCentering);
+  mpi::Runtime::run(4, [&](mpi::Comm& world) {
+    dist::DistTensor<double> dt(world, dist::ProcessorGrid({2, 2, 1}),
+                                x.dims());
+    dt.fill_from(x);
+    auto tr = dist::par_normalize_slices(
+        dt, 1, Normalization::kStandardCentering);
+    for (std::size_t s = 0; s < tr.shift.size(); ++s) {
+      EXPECT_NEAR(tr.shift[s], seq_tr.shift[s], 1e-12);
+      EXPECT_NEAR(tr.scale[s], seq_tr.scale[s], 1e-10);
+    }
+    auto gathered = dt.gather_to_root();
+    if (world.rank() == 0) {
+      for (index_t i = 0; i < seq.size(); ++i)
+        EXPECT_NEAR(gathered.data()[i], seq.data()[i], 1e-11);
+    }
+  });
+}
+
+TEST(ParPreprocessTest, RoundTripRestoresDistributedData) {
+  auto x = data::random_tensor<double>({6, 6, 4}, 3102);
+  mpi::Runtime::run(4, [&](mpi::Comm& world) {
+    dist::DistTensor<double> dt(world, dist::ProcessorGrid({2, 1, 2}),
+                                x.dims());
+    dt.fill_from(x);
+    auto tr = dist::par_normalize_slices(dt, 0, Normalization::kMinMax);
+    dist::par_denormalize_slices(dt, tr);
+    auto gathered = dt.gather_to_root();
+    if (world.rank() == 0) {
+      for (index_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(gathered.data()[i], x.data()[i],
+                    1e-12 * (1 + std::abs(x.data()[i])));
+    }
+  });
+}
+
+TEST(ParPreprocessTest, EmptySliceRanksParticipate) {
+  // Mode 0 extent 2 over P_0 = 4: ranks with empty slices must still join
+  // the allreduces.
+  mpi::Runtime::run(4, [&](mpi::Comm& world) {
+    dist::DistTensor<double> dt(world, dist::ProcessorGrid({4, 1}),
+                                tensor::Dims{2, 8});
+    dt.fill([](const std::vector<index_t>& g) {
+      return static_cast<double>(g[0] * 10 + g[1]);
+    });
+    auto stats = dist::par_slice_statistics(dt, 0);
+    EXPECT_DOUBLE_EQ(stats[0].min, 0);
+    EXPECT_DOUBLE_EQ(stats[0].max, 7);
+    EXPECT_DOUBLE_EQ(stats[1].min, 10);
+    EXPECT_DOUBLE_EQ(stats[1].max, 17);
+  });
+}
+
+// ---------------------------------------------------- region reconstruction
+
+TEST(ReconstructRegionTest, MatchesFullReconstructionSlice) {
+  auto x = data::tensor_with_spectra(
+      {10, 9, 8}, {data::DecayProfile::geometric(1, 1e-3),
+                   data::DecayProfile::geometric(1, 1e-3),
+                   data::DecayProfile::geometric(1, 1e-3)},
+      3006);
+  auto res = core::sthosvd(x, core::TruncationSpec::fixed_ranks({4, 4, 4}),
+                           core::SvdMethod::kQr);
+  auto full = res.tucker.reconstruct();
+  auto region = res.tucker.reconstruct_region({2, 0, 5}, {7, 3, 8});
+  EXPECT_EQ(region.dims(), (Dims{5, 3, 3}));
+  for (index_t i = 0; i < 5; ++i)
+    for (index_t j = 0; j < 3; ++j)
+      for (index_t k = 0; k < 3; ++k)
+        EXPECT_NEAR(region({i, j, k}), full({2 + i, j, 5 + k}), 1e-13);
+}
+
+TEST(ReconstructRegionTest, FullRangeEqualsReconstruct) {
+  auto x = data::random_tensor<double>({6, 5, 4}, 3007);
+  auto res = core::sthosvd(x, core::TruncationSpec::fixed_ranks({3, 3, 3}),
+                           core::SvdMethod::kGram);
+  auto a = res.tucker.reconstruct();
+  auto b = res.tucker.reconstruct_region({0, 0, 0}, {6, 5, 4});
+  for (index_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(ReconstructRegionTest, SingleEntryRegion) {
+  auto x = data::random_tensor<double>({5, 5, 5}, 3008);
+  auto res = core::sthosvd(x, core::TruncationSpec::fixed_ranks({5, 5, 5}),
+                           core::SvdMethod::kQr);
+  auto full = res.tucker.reconstruct();
+  auto one = res.tucker.reconstruct_region({2, 3, 4}, {3, 4, 5});
+  EXPECT_EQ(one.size(), 1);
+  EXPECT_NEAR(one.data()[0], full({2, 3, 4}), 1e-12);
+}
+
+TEST(ReconstructRegionDeathTest, OutOfBoundsRejected) {
+  auto x = data::random_tensor<double>({4, 4}, 3009);
+  auto res = core::sthosvd(x, core::TruncationSpec::fixed_ranks({2, 2}),
+                           core::SvdMethod::kQr);
+  EXPECT_DEATH((void)res.tucker.reconstruct_region({0, 0}, {5, 4}),
+               "range out of bounds");
+}
+
+}  // namespace
+}  // namespace tucker

@@ -1,0 +1,349 @@
+// Additional simulated-MPI coverage: message ordering guarantees,
+// communicator isolation, deterministic allreduce, cost accounting, and
+// the breakdown ledger.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "simmpi/breakdown.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace tucker::mpi {
+namespace {
+
+// ------------------------------------------------------------- ordering
+
+TEST(SimMpiOrdering, SameTagMessagesAreFifo) {
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 16; ++i) c.send(1, &i, 1, /*tag=*/5);
+    } else {
+      for (int i = 0; i < 16; ++i) {
+        int v = -1;
+        c.recv(0, &v, 1, /*tag=*/5);
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(SimMpiOrdering, InterleavedTagsDoNotOvertakeWithinTag) {
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 8; ++i) {
+        int a = i, b = 100 + i;
+        c.send(1, &a, 1, 1);
+        c.send(1, &b, 1, 2);
+      }
+    } else {
+      for (int i = 0; i < 8; ++i) {
+        int b = -1;
+        c.recv(0, &b, 1, 2);
+        EXPECT_EQ(b, 100 + i);
+      }
+      for (int i = 0; i < 8; ++i) {
+        int a = -1;
+        c.recv(0, &a, 1, 1);
+        EXPECT_EQ(a, i);
+      }
+    }
+  });
+}
+
+// ------------------------------------------------------------ isolation
+
+TEST(SimMpiIsolation, SplitCommTrafficDoesNotLeak) {
+  // Same tags on the parent and the child comm must not cross-match.
+  Runtime::run(2, [](Comm& c) {
+    Comm sub = c.split(0, c.rank());
+    if (c.rank() == 0) {
+      int viaParent = 1, viaChild = 2;
+      c.send(1, &viaParent, 1, 7);
+      sub.send(1, &viaChild, 1, 7);
+    } else {
+      int v = 0;
+      sub.recv(0, &v, 1, 7);
+      EXPECT_EQ(v, 2);
+      c.recv(0, &v, 1, 7);
+      EXPECT_EQ(v, 1);
+    }
+  });
+}
+
+TEST(SimMpiIsolation, SiblingSplitsGetDistinctContexts) {
+  // Two comms created by consecutive splits with identical colors must be
+  // independent channels.
+  Runtime::run(2, [](Comm& c) {
+    Comm s1 = c.split(0, c.rank());
+    Comm s2 = c.split(0, c.rank());
+    if (c.rank() == 0) {
+      int a = 10, b = 20;
+      s2.send(1, &b, 1, 0);
+      s1.send(1, &a, 1, 0);
+    } else {
+      int v = 0;
+      s1.recv(0, &v, 1, 0);
+      EXPECT_EQ(v, 10);
+      s2.recv(0, &v, 1, 0);
+      EXPECT_EQ(v, 20);
+    }
+  });
+}
+
+// --------------------------------------------------------- determinism
+
+TEST(SimMpiDeterminism, AllreduceBitwiseIdenticalOnAllRanks) {
+  // The Tucker rank selection relies on every rank computing identical
+  // reduced values. Use summands whose addition order matters in floating
+  // point; every rank must still see the same bits.
+  for (int p : {2, 3, 5, 8}) {
+    std::vector<double> results(static_cast<std::size_t>(p));
+    Runtime::run(p, [&](Comm& c) {
+      double v = (c.rank() % 2 == 0) ? 1e16 : 1.0 + c.rank() * 1e-8;
+      c.allreduce(&v, 1, Op::kSum);
+      results[static_cast<std::size_t>(c.rank())] = v;
+    });
+    for (int r = 1; r < p; ++r) {
+      EXPECT_EQ(std::memcmp(&results[0], &results[static_cast<std::size_t>(r)],
+                            sizeof(double)),
+                0)
+          << "P=" << p << " rank " << r;
+    }
+  }
+}
+
+// ----------------------------------------------------------- accounting
+
+TEST(SimMpiAccounting, BytesAndMessagesExact) {
+  auto stats = Runtime::run(2, [](Comm& c) {
+    std::vector<double> buf(25);
+    if (c.rank() == 0) {
+      c.send(1, buf.data(), 25, 1);
+      c.send(1, buf.data(), 10, 2);
+    } else {
+      c.recv(0, buf.data(), 25, 1);
+      c.recv(0, buf.data(), 10, 2);
+    }
+  });
+  EXPECT_EQ(stats.ranks[0].messages_sent, 2);
+  EXPECT_EQ(stats.ranks[0].bytes_sent, 35 * 8);
+  EXPECT_EQ(stats.ranks[1].messages_sent, 0);
+}
+
+TEST(SimMpiAccounting, AlltoallvSelfBlockIsFree) {
+  // P=1 alltoallv is a pure local copy: zero messages.
+  auto stats = Runtime::run(1, [](Comm& c) {
+    std::vector<int> s = {1, 2, 3}, r(3);
+    std::vector<std::int64_t> counts = {3}, displs = {0};
+    c.alltoallv(s.data(), counts, displs, r.data(), counts, displs);
+    EXPECT_EQ(r, s);
+  });
+  EXPECT_EQ(stats.total_messages(), 0);
+}
+
+TEST(SimMpiAccounting, AlltoallvUnevenCounts) {
+  Runtime::run(3, [](Comm& c) {
+    // Rank r sends r+1 copies of its rank to everyone.
+    const int p = 3;
+    std::vector<std::int64_t> scounts(p, c.rank() + 1), sdispls(p);
+    for (int d = 0; d < p; ++d) sdispls[d] = d * (c.rank() + 1);
+    std::vector<int> send(static_cast<std::size_t>(p * (c.rank() + 1)),
+                          c.rank());
+    std::vector<std::int64_t> rcounts(p), rdispls(p);
+    std::int64_t off = 0;
+    for (int s = 0; s < p; ++s) {
+      rcounts[s] = s + 1;
+      rdispls[s] = off;
+      off += s + 1;
+    }
+    std::vector<int> recv(static_cast<std::size_t>(off), -1);
+    c.alltoallv(send.data(), scounts, sdispls, recv.data(), rcounts, rdispls);
+    std::size_t idx = 0;
+    for (int s = 0; s < p; ++s)
+      for (int k = 0; k <= s; ++k) EXPECT_EQ(recv[idx++], s);
+  });
+}
+
+TEST(SimMpiAccounting, BarrierMessageCountIsLogP) {
+  for (int p : {2, 4, 8, 16}) {
+    auto stats = Runtime::run(p, [](Comm& c) { c.barrier(); });
+    int rounds = 0;
+    for (int k = 1; k < p; k *= 2) ++rounds;
+    EXPECT_EQ(stats.ranks[0].messages_sent, rounds) << "P=" << p;
+  }
+}
+
+TEST(SimMpiAccounting, CostModelAlphaOnlyForEmptyMessages) {
+  CostModel m;
+  m.alpha = 1e-3;
+  m.beta = 1e-6;
+  auto stats = Runtime::run(
+      2,
+      [](Comm& c) {
+        if (c.rank() == 0)
+          c.send<char>(1, nullptr, 0);
+        else
+          c.recv<char>(0, nullptr, 0);
+      },
+      m);
+  EXPECT_GE(stats.ranks[0].vtime, 1e-3);
+  EXPECT_LT(stats.ranks[0].vtime, 1.5e-3);
+}
+
+TEST(SimMpiAccounting, SingleHalvesBandwidthCost) {
+  CostModel m;
+  m.alpha = 0;
+  m.beta = 1e-6;
+  auto words = [&](auto tag) {
+    using T = decltype(tag);
+    return Runtime::run(
+               2,
+               [](Comm& c) {
+                 std::vector<T> buf(1000);
+                 if (c.rank() == 0)
+                   c.send(1, buf.data(), 1000);
+                 else
+                   c.recv(0, buf.data(), 1000);
+               },
+               m)
+        .ranks[0]
+        .vtime;
+  };
+  const double t_double = words(double{});
+  const double t_single = words(float{});
+  // vtime also contains a few microseconds of real (measured) CPU time for
+  // buffer handling, so compare with a loose absolute slack.
+  EXPECT_NEAR(t_single, t_double / 2, 0.05 * t_double + 2e-4);
+}
+
+// --------------------------------------------------------- reduce_scatter
+
+class ReduceScatterSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReduceScatterSizeTest, SumsAndScattersBlocks) {
+  const int p = GetParam();
+  Runtime::run(p, [p](Comm& c) {
+    // Block q has q+1 elements; rank r contributes value r+1 everywhere.
+    std::vector<std::int64_t> counts(p);
+    std::int64_t total = 0;
+    for (int q = 0; q < p; ++q) {
+      counts[q] = q + 1;
+      total += q + 1;
+    }
+    std::vector<double> data(static_cast<std::size_t>(total),
+                             static_cast<double>(c.rank() + 1));
+    std::vector<double> mine(static_cast<std::size_t>(c.rank() + 1), -1);
+    c.reduce_scatter(data.data(), mine.data(), counts);
+    const double expect = p * (p + 1) / 2.0;  // sum of (r+1)
+    for (double v : mine) EXPECT_DOUBLE_EQ(v, expect);
+  });
+}
+
+TEST_P(ReduceScatterSizeTest, ZeroSizedBlocksAllowed) {
+  const int p = GetParam();
+  Runtime::run(p, [p](Comm& c) {
+    // Only the last rank's block is nonempty.
+    std::vector<std::int64_t> counts(p, 0);
+    counts[p - 1] = 2;
+    std::vector<int> data = {c.rank(), 2 * c.rank()};
+    std::vector<int> mine(c.rank() == p - 1 ? 2 : 0);
+    c.reduce_scatter(data.data(), mine.data(), counts);
+    if (c.rank() == p - 1) {
+      EXPECT_EQ(mine[0], p * (p - 1) / 2);
+      EXPECT_EQ(mine[1], p * (p - 1));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReduceScatterSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(ReduceScatterTest, BandwidthIsSubAllreduce) {
+  // Ring reduce-scatter moves (P-1)/P of the buffer per rank -- strictly
+  // fewer bytes than allreduce of the same buffer.
+  CostModel m;
+  auto run_bytes = [&](bool rs) {
+    auto stats = Runtime::run(4, [rs](Comm& c) {
+      std::vector<double> data(400, 1.0);
+      if (rs) {
+        std::vector<std::int64_t> counts(4, 100);
+        std::vector<double> mine(100);
+        c.reduce_scatter(data.data(), mine.data(), counts);
+      } else {
+        c.allreduce(data.data(), 400, Op::kSum);
+      }
+    }, m);
+    return stats.total_bytes();
+  };
+  EXPECT_LT(run_bytes(true), run_bytes(false));
+}
+
+// ------------------------------------------------------------ breakdown
+
+TEST(BreakdownTest, RegionScopeRestoresPrevious) {
+  Breakdown b;
+  b.set_region("outer");
+  {
+    RegionScope s(b, "inner");
+    EXPECT_EQ(b.region(), "inner");
+    b.charge_compute(1.0);
+  }
+  EXPECT_EQ(b.region(), "outer");
+  b.charge_compute(2.0);
+  EXPECT_DOUBLE_EQ(b.compute().at("inner"), 1.0);
+  EXPECT_DOUBLE_EQ(b.compute().at("outer"), 2.0);
+  EXPECT_DOUBLE_EQ(b.total_compute(), 3.0);
+}
+
+TEST(BreakdownTest, CommChargesSeparateFromCompute) {
+  Breakdown b;
+  b.set_region("x");
+  b.charge_comm(0.5);
+  b.charge_compute(0.25);
+  EXPECT_DOUBLE_EQ(b.comm().at("x"), 0.5);
+  EXPECT_DOUBLE_EQ(b.compute().at("x"), 0.25);
+  EXPECT_DOUBLE_EQ(b.total_comm(), 0.5);
+}
+
+TEST(SimMpiVtimeMore, ReceiverWaitsForLateSender) {
+  CostModel m;
+  m.alpha = 0.05;  // sender finishes at ~0.05
+  m.beta = 0;
+  auto stats = Runtime::run(
+      2,
+      [](Comm& c) {
+        if (c.rank() == 0) {
+          int v = 1;
+          c.send(1, &v, 1);
+        } else {
+          int v;
+          c.recv(0, &v, 1);
+        }
+      },
+      m);
+  // Receiver cannot finish before the sender's delivery time (alpha);
+  // the sender keeps accruing measured CPU after the send, so compare
+  // against the modeled delivery instant, not the sender's final clock.
+  EXPECT_GE(stats.ranks[1].vtime, 0.05 - 1e-9);
+  // The waiting time is accounted as communication.
+  EXPECT_GE(stats.ranks[1].comm_seconds, 0.04);
+}
+
+TEST(SimMpiVtimeMore, GathervCollects) {
+  // gatherv through the runtime with nontrivial vtime is already covered;
+  // verify values when root is nonzero.
+  Runtime::run(4, [](Comm& c) {
+    std::vector<std::int64_t> counts = {1, 1, 1, 1};
+    int mine = 10 * c.rank();
+    std::vector<int> all(4, -1);
+    c.gatherv(&mine, 1, all.data(), counts, /*root=*/2);
+    if (c.rank() == 2) {
+      for (int r = 0; r < 4; ++r) EXPECT_EQ(all[r], 10 * r);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace tucker::mpi

@@ -1,0 +1,262 @@
+// Unit tests for the simulated MPI runtime: point-to-point semantics,
+// collectives at power-of-two and awkward sizes, communicator splitting,
+// and the virtual-clock accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/flops.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace tucker::mpi {
+namespace {
+
+// ------------------------------------------------------------------- p2p
+
+TEST(SimMpiP2P, SendRecvDeliversPayload) {
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> v = {1.5, -2.5, 3.25};
+      c.send(1, v.data(), 3, /*tag=*/7);
+    } else {
+      std::vector<double> v(3);
+      c.recv(0, v.data(), 3, /*tag=*/7);
+      EXPECT_EQ(v[0], 1.5);
+      EXPECT_EQ(v[1], -2.5);
+      EXPECT_EQ(v[2], 3.25);
+    }
+  });
+}
+
+TEST(SimMpiP2P, TagsKeepMessagesApart) {
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      int a = 11, b = 22;
+      c.send(1, &a, 1, 1);
+      c.send(1, &b, 1, 2);
+    } else {
+      int b = 0, a = 0;
+      // Receive in the opposite order of sending.
+      c.recv(0, &b, 1, 2);
+      c.recv(0, &a, 1, 1);
+      EXPECT_EQ(a, 11);
+      EXPECT_EQ(b, 22);
+    }
+  });
+}
+
+TEST(SimMpiP2P, SendrecvExchanges) {
+  Runtime::run(2, [](Comm& c) {
+    int mine = 100 + c.rank();
+    int theirs = -1;
+    c.sendrecv(1 - c.rank(), &mine, 1, &theirs, 1);
+    EXPECT_EQ(theirs, 100 + (1 - c.rank()));
+  });
+}
+
+TEST(SimMpiP2P, ZeroByteMessage) {
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0)
+      c.send<char>(1, nullptr, 0, 3);
+    else
+      c.recv<char>(0, nullptr, 0, 3);
+  });
+}
+
+// ------------------------------------------------------------ collectives
+
+class CollectiveSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSizeTest, BarrierCompletes) {
+  const int p = GetParam();
+  std::atomic<int> count{0};
+  Runtime::run(p, [&](Comm& c) {
+    count.fetch_add(1);
+    c.barrier();
+    EXPECT_EQ(count.load(), p);  // everyone arrived before anyone leaves
+  });
+}
+
+TEST_P(CollectiveSizeTest, BcastFromEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; root += (p > 4 ? p - 1 : 1)) {
+    Runtime::run(p, [root](Comm& c) {
+      std::vector<int> data(5, c.rank() == root ? 42 : -1);
+      c.bcast(data.data(), 5, root);
+      for (int v : data) EXPECT_EQ(v, 42);
+    });
+  }
+}
+
+TEST_P(CollectiveSizeTest, AllreduceSum) {
+  const int p = GetParam();
+  Runtime::run(p, [p](Comm& c) {
+    std::vector<double> v = {static_cast<double>(c.rank()), 1.0};
+    c.allreduce(v.data(), 2, Op::kSum);
+    EXPECT_DOUBLE_EQ(v[0], p * (p - 1) / 2.0);
+    EXPECT_DOUBLE_EQ(v[1], p);
+  });
+}
+
+TEST_P(CollectiveSizeTest, AllreduceMaxMin) {
+  const int p = GetParam();
+  Runtime::run(p, [p](Comm& c) {
+    double mx = c.rank();
+    c.allreduce(&mx, 1, Op::kMax);
+    EXPECT_EQ(mx, p - 1);
+    double mn = c.rank();
+    c.allreduce(&mn, 1, Op::kMin);
+    EXPECT_EQ(mn, 0);
+  });
+}
+
+TEST_P(CollectiveSizeTest, GathervCollectsInRankOrder) {
+  const int p = GetParam();
+  Runtime::run(p, [p](Comm& c) {
+    // Rank r contributes r+1 values, all equal to r.
+    std::vector<std::int64_t> counts(p);
+    for (int r = 0; r < p; ++r) counts[r] = r + 1;
+    std::vector<int> mine(c.rank() + 1, c.rank());
+    std::int64_t total = std::accumulate(counts.begin(), counts.end(),
+                                         std::int64_t{0});
+    std::vector<int> all(c.rank() == 0 ? total : 0);
+    c.gatherv(mine.data(), c.rank() + 1, all.data(), counts, 0);
+    if (c.rank() == 0) {
+      std::size_t idx = 0;
+      for (int r = 0; r < p; ++r)
+        for (int k = 0; k <= r; ++k) EXPECT_EQ(all[idx++], r);
+    }
+  });
+}
+
+TEST_P(CollectiveSizeTest, AlltoallvTransposesBlocks) {
+  const int p = GetParam();
+  Runtime::run(p, [p](Comm& c) {
+    // Rank r sends value r*p + d to rank d.
+    std::vector<int> send(p), recvd(p);
+    std::vector<std::int64_t> counts(p, 1), displs(p);
+    for (int d = 0; d < p; ++d) {
+      send[d] = c.rank() * p + d;
+      displs[d] = d;
+    }
+    c.alltoallv(send.data(), counts, displs, recvd.data(), counts, displs);
+    for (int s = 0; s < p; ++s) EXPECT_EQ(recvd[s], s * p + c.rank());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+// ------------------------------------------------------------------ split
+
+TEST(SimMpiSplit, SplitByParity) {
+  Runtime::run(6, [](Comm& c) {
+    Comm sub = c.split(c.rank() % 2, c.rank());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), c.rank() / 2);
+    // Traffic stays within the subcommunicator.
+    double v = 1;
+    sub.allreduce(&v, 1, Op::kSum);
+    EXPECT_EQ(v, 3);
+  });
+}
+
+TEST(SimMpiSplit, KeyControlsOrdering) {
+  Runtime::run(4, [](Comm& c) {
+    // Reverse the ranks via the key.
+    Comm sub = c.split(0, -c.rank());
+    EXPECT_EQ(sub.rank(), 3 - c.rank());
+  });
+}
+
+TEST(SimMpiSplit, NestedSplits) {
+  Runtime::run(8, [](Comm& c) {
+    Comm half = c.split(c.rank() / 4, c.rank());  // two groups of 4
+    Comm quarter = half.split(half.rank() / 2, half.rank());  // groups of 2
+    EXPECT_EQ(quarter.size(), 2);
+    int peer_world = -1;
+    int mine = c.rank();
+    quarter.sendrecv(1 - quarter.rank(), &mine, 1, &peer_world, 1);
+    // Partner should be the +-1 world neighbour inside the group of 2.
+    EXPECT_EQ(peer_world / 2, c.rank() / 2);
+    EXPECT_NE(peer_world, c.rank());
+  });
+}
+
+// ---------------------------------------------------------- virtual clock
+
+TEST(SimMpiVtime, MessagesAdvanceClockByModel) {
+  CostModel m;
+  m.alpha = 1e-3;
+  m.beta = 1e-6;
+  auto stats = Runtime::run(
+      2,
+      [](Comm& c) {
+        std::vector<char> buf(1000);
+        if (c.rank() == 0)
+          c.send(1, buf.data(), 1000);
+        else
+          c.recv(0, buf.data(), 1000);
+      },
+      m);
+  // Sender pays alpha + beta*1000 = 2e-3 (plus negligible compute).
+  EXPECT_GE(stats.ranks[0].vtime, 2e-3);
+  EXPECT_LT(stats.ranks[0].vtime, 3e-3);
+  // Receiver finishes no earlier than the sender's delivery time.
+  EXPECT_GE(stats.ranks[1].vtime, 2e-3);
+  EXPECT_EQ(stats.ranks[0].messages_sent, 1);
+  EXPECT_EQ(stats.ranks[0].bytes_sent, 1000);
+}
+
+TEST(SimMpiVtime, ComputeTimeIsCharged) {
+  auto stats = Runtime::run(1, [](Comm& c) {
+    // Burn some CPU.
+    volatile double x = 1.0;
+    for (int i = 0; i < 2000000; ++i) x = x * 1.0000001 + 1e-9;
+    c.sync_cpu_clock();
+    EXPECT_GT(c.vtime(), 0.0);
+  });
+  EXPECT_GT(stats.ranks[0].compute_seconds, 0.0);
+  EXPECT_GE(stats.makespan(), stats.ranks[0].compute_seconds);
+}
+
+TEST(SimMpiVtime, RegionsAttributeCompute) {
+  auto stats = Runtime::run(1, [](Comm& c) {
+    {
+      auto scope = c.region("phaseA");
+      volatile double x = 1.0;
+      for (int i = 0; i < 1000000; ++i) x = x * 1.0000001 + 1e-9;
+      c.sync_cpu_clock();
+    }
+    auto scope = c.region("phaseB");
+    c.sync_cpu_clock();
+  });
+  const auto& rc = stats.ranks[0].region_compute;
+  ASSERT_TRUE(rc.count("phaseA"));
+  EXPECT_GT(rc.at("phaseA"), 0.0);
+}
+
+TEST(SimMpiVtime, ButterflyHasLogPLatency) {
+  // A barrier is log2(P) rounds; with pure-latency model the makespan must
+  // grow with log P, not P.
+  CostModel m;
+  m.alpha = 1e-3;
+  m.beta = 0;
+  auto s4 = Runtime::run(4, [](Comm& c) { c.barrier(); }, m);
+  auto s16 = Runtime::run(16, [](Comm& c) { c.barrier(); }, m);
+  // 4 ranks: 2 rounds; 16 ranks: 4 rounds (plus waiting alignment).
+  EXPECT_LT(s4.makespan(), s16.makespan());
+  EXPECT_LT(s16.makespan(), 4 * s4.makespan());
+}
+
+TEST(SimMpiStats, FlopsAreCollectedPerRank) {
+  auto stats = Runtime::run(3, [](Comm&) { add_flops(123); });
+  for (const auto& r : stats.ranks) EXPECT_EQ(r.flops, 123);
+  EXPECT_EQ(stats.total_flops(), 369);
+}
+
+}  // namespace
+}  // namespace tucker::mpi

@@ -1,0 +1,220 @@
+// Additional tensor-layer coverage: higher-order tensors, degenerate
+// dimensions, rank-increasing TTM, order-2 tensors, and float consistency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/blas1.hpp"
+#include "blas/gemm.hpp"
+#include "common/rng.hpp"
+#include "core/tucker_tensor.hpp"
+#include "data/synthetic_tensor.hpp"
+#include "tensor/gram.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/tensor_lq.hpp"
+#include "tensor/ttm.hpp"
+
+namespace tucker {
+namespace {
+
+using blas::index_t;
+using blas::Matrix;
+using blas::MatView;
+using tensor::Dims;
+using tensor::Tensor;
+
+template <class T>
+Tensor<T> random_t(const Dims& d, std::uint64_t seed) {
+  return data::random_tensor<T>(d, seed);
+}
+
+// ------------------------------------------------------------ 5-d layout
+
+class FiveDModeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FiveDModeTest, UnfoldingBlocksCoverAllEntriesOnce) {
+  const std::size_t n = GetParam();
+  Tensor<double> t({3, 4, 2, 5, 3});
+  for (index_t i = 0; i < t.size(); ++i) t.data()[i] = static_cast<double>(i);
+  // Sum of all block entries equals the sum of all tensor entries.
+  double blocks_sum = 0;
+  for (index_t j = 0; j < tensor::unfolding_num_blocks(t, n); ++j) {
+    auto b = tensor::unfolding_block(t, n, j);
+    for (index_t i = 0; i < b.rows(); ++i)
+      for (index_t c = 0; c < b.cols(); ++c) blocks_sum += b(i, c);
+  }
+  double total = 0;
+  for (index_t i = 0; i < t.size(); ++i) total += t.data()[i];
+  EXPECT_DOUBLE_EQ(blocks_sum, total);
+}
+
+TEST_P(FiveDModeTest, GramLqIdentityHolds) {
+  const std::size_t n = GetParam();
+  auto x = random_t<double>({3, 4, 2, 5, 3}, 900 + n);
+  auto l = tensor::tensor_lq(x, n);
+  auto g = tensor::gram_of_unfolding(x, n);
+  Matrix<double> llt(l.rows(), l.rows());
+  blas::gemm(1.0, MatView<const double>(l.view()),
+             MatView<const double>(l.view().t()), 0.0, llt.view());
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(llt.view()),
+                               MatView<const double>(g.view())),
+            1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, FiveDModeTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+// ----------------------------------------------------- degenerate shapes
+
+TEST(DegenerateShapeTest, SizeOneModes) {
+  auto x = random_t<double>({1, 5, 1, 4}, 910);
+  for (std::size_t n = 0; n < 4; ++n) {
+    auto g = tensor::gram_of_unfolding(x, n);
+    EXPECT_EQ(g.rows(), x.dim(n));
+    auto l = tensor::tensor_lq(x, n);
+    Matrix<double> llt(l.rows(), l.rows());
+    blas::gemm(1.0, MatView<const double>(l.view()),
+               MatView<const double>(l.view().t()), 0.0, llt.view());
+    EXPECT_LE(blas::max_abs_diff(MatView<const double>(llt.view()),
+                                 MatView<const double>(g.view())),
+              1e-11)
+        << "mode " << n;
+  }
+}
+
+TEST(DegenerateShapeTest, Order2TensorIsAMatrix) {
+  // Mode-0 unfolding of a 2-way tensor is the matrix itself; mode-1 is its
+  // transpose.
+  auto x = random_t<double>({6, 9}, 911);
+  auto g0 = tensor::gram_of_unfolding(x, 0);
+  auto m = MatView<const double>::col_major(x.data(), 6, 9);
+  Matrix<double> ref(6, 6);
+  blas::syrk(1.0, m, 0.0, ref.view());
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(g0.view()),
+                               MatView<const double>(ref.view())),
+            1e-12);
+}
+
+TEST(DegenerateShapeTest, TtmOnSizeOneMode) {
+  auto x = random_t<double>({4, 1, 3}, 912);
+  Matrix<double> u(2, 1);
+  u(0, 0) = 2.0;
+  u(1, 0) = -1.0;
+  auto y = tensor::ttm(x, 1, MatView<const double>(u.view()));
+  EXPECT_EQ(y.dims(), (Dims{4, 2, 3}));
+  // Row 0 scaled by 2, row 1 by -1.
+  EXPECT_NEAR(y({0, 0, 0}), 2.0 * x({0, 0, 0}), 1e-14);
+  EXPECT_NEAR(y({0, 1, 0}), -1.0 * x({0, 0, 0}), 1e-14);
+}
+
+TEST(TtmMoreTest, RankIncreasingTtm) {
+  // TTM can also expand a mode (used by reconstruct): R > I_n.
+  auto x = random_t<double>({3, 4, 2}, 913);
+  Rng rng(914);
+  Matrix<double> u(7, 4);
+  for (index_t i = 0; i < 7; ++i)
+    for (index_t j = 0; j < 4; ++j) u(i, j) = rng.normal<double>();
+  auto y = tensor::ttm(x, 1, MatView<const double>(u.view()));
+  EXPECT_EQ(y.dim(1), 7);
+  // Check one entry by hand.
+  double s = 0;
+  for (index_t k = 0; k < 4; ++k) s += u(5, k) * x({2, k, 1});
+  EXPECT_NEAR(y({2, 5, 1}), s, 1e-12);
+}
+
+TEST(TtmMoreTest, TtmChainEqualsReconstruct) {
+  auto core = random_t<double>({2, 3, 2}, 915);
+  Rng rng(916);
+  core::TuckerTensor<double> tk;
+  tk.core = core;
+  tk.factors.push_back(data::random_orthonormal(5, 2, rng));
+  tk.factors.push_back(data::random_orthonormal(6, 3, rng));
+  tk.factors.push_back(data::random_orthonormal(4, 2, rng));
+  auto manual = tensor::ttm(
+      tensor::ttm(tensor::ttm(core, 0,
+                              MatView<const double>(tk.factors[0].view())),
+                  1, MatView<const double>(tk.factors[1].view())),
+      2, MatView<const double>(tk.factors[2].view()));
+  auto rec = tk.reconstruct();
+  for (index_t i = 0; i < rec.size(); ++i)
+    EXPECT_NEAR(rec.data()[i], manual.data()[i], 1e-13);
+}
+
+// ------------------------------------------------------ float consistency
+
+TEST(FloatConsistencyTest, GramFloatTracksDouble) {
+  auto xd = random_t<double>({5, 6, 4}, 917);
+  auto xf = data::round_tensor_to<float>(xd);
+  for (std::size_t n = 0; n < 3; ++n) {
+    auto gd = tensor::gram_of_unfolding(xd, n);
+    auto gf = tensor::gram_of_unfolding(xf, n);
+    for (index_t i = 0; i < gd.rows(); ++i)
+      for (index_t j = 0; j < gd.cols(); ++j)
+        EXPECT_NEAR(static_cast<double>(gf(i, j)), gd(i, j),
+                    1e-4 * std::abs(gd(0, 0)) + 1e-4)
+            << n;
+  }
+}
+
+TEST(FloatConsistencyTest, TensorLqFloatSatisfiesGramIdentity) {
+  auto xd = random_t<double>({5, 6, 4}, 918);
+  auto x = data::round_tensor_to<float>(xd);
+  for (std::size_t n = 0; n < 3; ++n) {
+    auto l = tensor::tensor_lq(x, n);
+    auto g = tensor::gram_of_unfolding(x, n);
+    Matrix<float> llt(l.rows(), l.rows());
+    blas::gemm(1.0f, MatView<const float>(l.view()),
+               MatView<const float>(l.view().t()), 0.0f, llt.view());
+    EXPECT_LE(blas::max_abs_diff(MatView<const float>(llt.view()),
+                                 MatView<const float>(g.view())),
+              1e-4f)
+        << "mode " << n;
+  }
+}
+
+// ----------------------------------------------------------- norm helpers
+
+TEST(NormTest, NormSquaredMatchesSum) {
+  auto x = random_t<double>({7, 3, 5}, 919);
+  double expect = 0;
+  for (index_t i = 0; i < x.size(); ++i)
+    expect += x.data()[i] * x.data()[i];
+  EXPECT_NEAR(x.norm_squared(), expect, 1e-10 * expect);
+}
+
+TEST(NormTest, UnfoldingPreservesNorm) {
+  auto x = random_t<double>({4, 5, 6}, 920);
+  for (std::size_t n = 0; n < 3; ++n) {
+    double s = 0;
+    for (index_t j = 0; j < tensor::unfolding_num_blocks(x, n); ++j)
+      s += blas::sum_squares<double>(tensor::unfolding_block(x, n, j));
+    EXPECT_NEAR(s, x.norm_squared(), 1e-10 * s) << "mode " << n;
+  }
+}
+
+// ------------------------------------------------------- decay profiles
+
+TEST(DecayProfileTest, GeometricEndpoints) {
+  auto p = data::DecayProfile::geometric(1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(p.at(0.0), 1.0);
+  EXPECT_NEAR(p.at(1.0), 1e-6, 1e-12);
+  EXPECT_NEAR(p.at(0.5), 1e-3, 1e-9);
+}
+
+TEST(DecayProfileTest, PiecewiseKnots) {
+  data::DecayProfile p{{{0.0, 1.0}, {0.5, 1e-2}, {1.0, 1e-3}}};
+  EXPECT_NEAR(p.at(0.25), 1e-1, 1e-7);
+  EXPECT_NEAR(p.at(0.5), 1e-2, 1e-9);
+  EXPECT_NEAR(p.at(0.75), std::sqrt(1e-2 * 1e-3), 1e-8);
+}
+
+TEST(DecayProfileTest, SampleLengthOne) {
+  auto p = data::DecayProfile::geometric(2.0, 1e-3);
+  auto s = p.sample(1);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0], 2.0);
+}
+
+}  // namespace
+}  // namespace tucker

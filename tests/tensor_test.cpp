@@ -1,0 +1,313 @@
+// Unit tests for the tensor layer: layout, unfolding views, TTM, Gram of
+// unfoldings, and the flat-tree TensorLQ (paper Alg 2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/blas1.hpp"
+#include "blas/gemm.hpp"
+#include "common/rng.hpp"
+#include "data/synthetic_tensor.hpp"
+#include "lapack/eig.hpp"
+#include "lapack/svd.hpp"
+#include "tensor/gram.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/tensor_lq.hpp"
+#include "tensor/ttm.hpp"
+
+namespace tucker {
+namespace {
+
+using blas::index_t;
+using blas::Matrix;
+using blas::MatView;
+using tensor::Dims;
+using tensor::Tensor;
+
+/// Dense copy of the mode-n unfolding via the reference entry formula.
+template <class T>
+Matrix<T> dense_unfolding(const Tensor<T>& t, std::size_t n) {
+  const index_t rows = t.dim(n);
+  const index_t cols = tensor::prod_before(t.dims(), n) *
+                       tensor::prod_after(t.dims(), n);
+  Matrix<T> m(rows, cols);
+  for (index_t i = 0; i < rows; ++i)
+    for (index_t c = 0; c < cols; ++c)
+      m(i, c) = tensor::unfolding_entry(t, n, i, c);
+  return m;
+}
+
+/// Reference TTM by explicit index arithmetic.
+template <class T>
+Tensor<T> ref_ttm(const Tensor<T>& x, std::size_t n, MatView<const T> u) {
+  Dims ydims = x.dims();
+  ydims[n] = u.rows();
+  Tensor<T> y(ydims);
+  std::vector<index_t> idx(x.order(), 0);
+  for (index_t lin = 0; lin < y.size(); ++lin) {
+    idx = y.multi_index(lin);
+    double s = 0;
+    std::vector<index_t> xi = idx;
+    for (index_t k = 0; k < x.dim(n); ++k) {
+      xi[n] = k;
+      s += static_cast<double>(u(idx[n], k)) * static_cast<double>(x(xi));
+    }
+    y(idx) = static_cast<T>(s);
+  }
+  return y;
+}
+
+// ------------------------------------------------------------------ layout
+
+TEST(TensorLayoutTest, LinearIndexMode0Fastest) {
+  Tensor<double> t({3, 4, 2});
+  EXPECT_EQ(t.linear_index({0, 0, 0}), 0);
+  EXPECT_EQ(t.linear_index({1, 0, 0}), 1);
+  EXPECT_EQ(t.linear_index({0, 1, 0}), 3);
+  EXPECT_EQ(t.linear_index({0, 0, 1}), 12);
+  EXPECT_EQ(t.linear_index({2, 3, 1}), 23);
+}
+
+TEST(TensorLayoutTest, MultiIndexRoundTrip) {
+  Tensor<double> t({5, 3, 4, 2});
+  for (index_t lin = 0; lin < t.size(); ++lin)
+    EXPECT_EQ(t.linear_index(t.multi_index(lin)), lin);
+}
+
+TEST(TensorLayoutTest, ProdBeforeAfter) {
+  Dims d = {5, 3, 4, 2};
+  EXPECT_EQ(tensor::prod_before(d, 0), 1);
+  EXPECT_EQ(tensor::prod_before(d, 2), 15);
+  EXPECT_EQ(tensor::prod_after(d, 2), 2);
+  EXPECT_EQ(tensor::prod_after(d, 3), 1);
+  EXPECT_EQ(tensor::num_elements(d), 120);
+}
+
+class UnfoldingModeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UnfoldingModeTest, BlockViewsMatchReferenceEntries) {
+  const std::size_t n = GetParam();
+  Tensor<double> t({4, 3, 5, 2});
+  Rng rng(17);
+  for (index_t i = 0; i < t.size(); ++i) t.data()[i] = rng.normal<double>();
+
+  auto ref = dense_unfolding(t, n);
+  const index_t before = tensor::prod_before(t.dims(), n);
+  for (index_t j = 0; j < tensor::unfolding_num_blocks(t, n); ++j) {
+    auto blk = tensor::unfolding_block(t, n, j);
+    for (index_t i = 0; i < blk.rows(); ++i)
+      for (index_t c = 0; c < blk.cols(); ++c)
+        EXPECT_EQ(blk(i, c), ref(i, j * before + c))
+            << "mode " << n << " block " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, UnfoldingModeTest,
+                         ::testing::Values(0u, 1u, 2u, 3u));
+
+TEST(UnfoldingTest, Mode0ViewIsColumnMajorUnfolding) {
+  Tensor<double> t({3, 2, 2});
+  Rng rng(5);
+  for (index_t i = 0; i < t.size(); ++i) t.data()[i] = rng.normal<double>();
+  auto v = tensor::unfolding_mode0(t);
+  auto ref = dense_unfolding(t, 0);
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(v),
+                               MatView<const double>(ref.view())),
+            0.0);
+}
+
+// -------------------------------------------------------------------- TTM
+
+class TtmModeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TtmModeTest, MatchesReference) {
+  const std::size_t n = GetParam();
+  Tensor<double> x({4, 3, 5, 2});
+  Rng rng(23);
+  for (index_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal<double>();
+  const index_t r = 2;
+  Matrix<double> u(r, x.dim(n));
+  for (index_t i = 0; i < r; ++i)
+    for (index_t j = 0; j < x.dim(n); ++j) u(i, j) = rng.normal<double>();
+
+  auto y = tensor::ttm(x, n, MatView<const double>(u.view()));
+  auto ref = ref_ttm(x, n, MatView<const double>(u.view()));
+  ASSERT_EQ(y.dims(), ref.dims());
+  for (index_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y.data()[i], ref.data()[i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TtmModeTest,
+                         ::testing::Values(0u, 1u, 2u, 3u));
+
+TEST(TtmTest, IdentityIsNoOp) {
+  Tensor<double> x({3, 4, 2});
+  Rng rng(29);
+  for (index_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal<double>();
+  auto eye = Matrix<double>::identity(4);
+  auto y = tensor::ttm(x, 1, MatView<const double>(eye.view()));
+  for (index_t i = 0; i < x.size(); ++i)
+    EXPECT_EQ(y.data()[i], x.data()[i]);
+}
+
+TEST(TtmTest, ComposesAcrossModes) {
+  // (X x_0 A) x_2 B == (X x_2 B) x_0 A.
+  Tensor<double> x({3, 4, 5});
+  Rng rng(31);
+  for (index_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal<double>();
+  Matrix<double> a(2, 3), b(2, 5);
+  for (index_t i = 0; i < 2; ++i) {
+    for (index_t j = 0; j < 3; ++j) a(i, j) = rng.normal<double>();
+    for (index_t j = 0; j < 5; ++j) b(i, j) = rng.normal<double>();
+  }
+  auto y1 = tensor::ttm(tensor::ttm(x, 0, MatView<const double>(a.view())), 2,
+                        MatView<const double>(b.view()));
+  auto y2 = tensor::ttm(tensor::ttm(x, 2, MatView<const double>(b.view())), 0,
+                        MatView<const double>(a.view()));
+  for (index_t i = 0; i < y1.size(); ++i)
+    EXPECT_NEAR(y1.data()[i], y2.data()[i], 1e-12);
+}
+
+TEST(TtmTest, OrthonormalTtmPreservesNorm) {
+  Tensor<double> x({6, 5, 4});
+  Rng rng(37);
+  for (index_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal<double>();
+  auto q = data::random_orthonormal(5, 5, rng);
+  auto y = tensor::ttm(x, 1, MatView<const double>(q.view()));
+  EXPECT_NEAR(y.norm_squared(), x.norm_squared(), 1e-9 * x.norm_squared());
+}
+
+// ------------------------------------------------------------------- Gram
+
+class GramModeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GramModeTest, MatchesDenseUnfoldingGram) {
+  const std::size_t n = GetParam();
+  Tensor<double> x({4, 6, 3, 5});
+  Rng rng(41);
+  for (index_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal<double>();
+  auto g = tensor::gram_of_unfolding(x, n);
+  auto ref_unf = dense_unfolding(x, n);
+  Matrix<double> ref(x.dim(n), x.dim(n));
+  blas::syrk(1.0, MatView<const double>(ref_unf.view()), 0.0, ref.view());
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(g.view()),
+                               MatView<const double>(ref.view())),
+            1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, GramModeTest,
+                         ::testing::Values(0u, 1u, 2u, 3u));
+
+// --------------------------------------------------------------- TensorLQ
+
+class TensorLqModeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TensorLqModeTest, LLtEqualsGram) {
+  // The defining invariant: L L^T = X_(n) X_(n)^T for every mode, since
+  // Q has orthonormal rows.
+  const std::size_t n = GetParam();
+  Tensor<double> x({4, 6, 3, 5});
+  Rng rng(43);
+  for (index_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal<double>();
+  auto l = tensor::tensor_lq(x, n);
+  EXPECT_EQ(l.rows(), x.dim(n));
+  auto gram = tensor::gram_of_unfolding(x, n);
+  Matrix<double> llt(l.rows(), l.rows());
+  blas::gemm(1.0, MatView<const double>(l.view()),
+             MatView<const double>(l.view().t()), 0.0, llt.view());
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(llt.view()),
+                               MatView<const double>(gram.view())),
+            1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TensorLqModeTest,
+                         ::testing::Values(0u, 1u, 2u, 3u));
+
+TEST(TensorLqTest, InputTensorIsNotModified) {
+  Tensor<double> x({3, 4, 5});
+  Rng rng(47);
+  for (index_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal<double>();
+  Tensor<double> copy = x;
+  (void)tensor::tensor_lq(x, 1);
+  for (index_t i = 0; i < x.size(); ++i)
+    EXPECT_EQ(x.data()[i], copy.data()[i]);
+}
+
+TEST(TensorLqTest, BlockMergingWhenLeadingBlockIsTall) {
+  // Mode 1 of an 2 x 9 x 4 tensor: blocks are 9 x 2 (tall), so the flat
+  // tree must merge ceil(9/2) = 5 blocks before the first LQ.
+  Tensor<double> x({2, 9, 4});
+  Rng rng(53);
+  for (index_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal<double>();
+  auto l = tensor::tensor_lq(x, 1);
+  EXPECT_EQ(l.rows(), 9);
+  EXPECT_EQ(l.cols(), 8);  // total cols = 8 < 9: lower trapezoid
+  auto gram = tensor::gram_of_unfolding(x, 1);
+  Matrix<double> llt(9, 9);
+  blas::gemm(1.0, MatView<const double>(l.view()),
+             MatView<const double>(l.view().t()), 0.0, llt.view());
+  EXPECT_LE(blas::max_abs_diff(MatView<const double>(llt.view()),
+                               MatView<const double>(gram.view())),
+            1e-10);
+}
+
+TEST(TensorLqTest, TallUnfoldingReturnsTrapezoid) {
+  // Mode 2 dimension 10 with only 6 total columns.
+  Tensor<double> x({2, 3, 10});
+  Rng rng(59);
+  for (index_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal<double>();
+  auto l = tensor::tensor_lq(x, 2);
+  EXPECT_EQ(l.rows(), 10);
+  EXPECT_EQ(l.cols(), 6);
+}
+
+TEST(TensorLqTest, SingularValuesMatchGramEigenvalues) {
+  // Cross-check the two SVD paths on a well-conditioned tensor.
+  auto xd = data::tensor_with_spectra(
+      {8, 7, 6}, {data::DecayProfile::geometric(1, 1e-2),
+                  data::DecayProfile::geometric(1, 1e-2),
+                  data::DecayProfile::geometric(1, 1e-2)},
+      61);
+  for (std::size_t n = 0; n < 3; ++n) {
+    auto l = tensor::tensor_lq(xd, n);
+    auto svd = la::jacobi_svd(MatView<const double>(l.view()));
+    auto gram = tensor::gram_of_unfolding(xd, n);
+    auto eig = la::jacobi_eig(MatView<const double>(gram.view()));
+    for (std::size_t i = 0; i < svd.sigma.size(); ++i)
+      EXPECT_NEAR(svd.sigma[i] * svd.sigma[i], std::abs(eig.lambda[i]),
+                  1e-8 * std::abs(eig.lambda[0]))
+          << "mode " << n << " index " << i;
+  }
+}
+
+// -------------------------------------------------- spectra of generators
+
+TEST(SyntheticTensorTest, PrescribedSpectraDecayAsRequested) {
+  auto x = data::tensor_with_spectra(
+      {12, 10, 8}, {data::DecayProfile::geometric(1, 1e-4),
+                    data::DecayProfile::geometric(1, 1e-2),
+                    data::DecayProfile::geometric(1, 1e-1)},
+      67);
+  for (std::size_t n = 0; n < 3; ++n) {
+    auto l = tensor::tensor_lq(x, n);
+    auto svd = la::jacobi_svd(MatView<const double>(l.view()));
+    // Normalized leading-to-trailing ratio should reflect the profile
+    // within two orders of magnitude (mode mixing blurs the exact values).
+    const double span = svd.sigma.front() / svd.sigma.back();
+    const double target = n == 0 ? 1e4 : (n == 1 ? 1e2 : 1e1);
+    EXPECT_GT(span, target / 100) << n;
+    EXPECT_LT(span, target * 100) << n;
+  }
+}
+
+TEST(SyntheticTensorTest, RandomTensorIsReproducible) {
+  auto a = data::random_tensor<double>({4, 5, 6}, 99);
+  auto b = data::random_tensor<double>({4, 5, 6}, 99);
+  for (index_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+}  // namespace
+}  // namespace tucker

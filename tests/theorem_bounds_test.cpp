@@ -1,0 +1,215 @@
+// Quantitative verification of the paper's Theorems 1 and 2: singular-value
+// errors and principal angles between computed and exact leading subspaces,
+// for the QR and Gram approaches, across gap locations and precisions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/blas1.hpp"
+#include "blas/gemm.hpp"
+#include "common/rng.hpp"
+#include "data/synthetic_matrix.hpp"
+#include "lapack/bidiag_svd.hpp"
+#include "lapack/qr.hpp"
+#include "lapack/tridiag_eig.hpp"
+
+namespace tucker {
+namespace {
+
+using blas::index_t;
+using blas::Matrix;
+using blas::MatView;
+
+/// sin of the largest principal angle between range(U) and range(V)
+/// (orthonormal inputs): sqrt(1 - sigma_min(U^T V)^2).
+double max_principal_angle_sin(MatView<const double> u,
+                               MatView<const double> v) {
+  Matrix<double> w(u.cols(), v.cols());
+  blas::gemm(1.0, MatView<const double>(u.t()), v, 0.0, w.view());
+  auto svd = la::bidiag_svd(MatView<const double>(w.view()));
+  const double smin = svd.sigma.back();
+  return std::sqrt(std::max(0.0, 1.0 - smin * smin));
+}
+
+/// QR-path left singular vectors of A in precision T, lifted to double.
+template <class T>
+Matrix<double> qr_left_vectors(const Matrix<double>& a, index_t k) {
+  auto at = data::round_to<T>(a);
+  std::vector<T> tau;
+  la::gelqf(at.view(), tau);
+  auto l = la::extract_l<T>(at.view());
+  auto svd = la::bidiag_svd(MatView<const T>(l.view()));
+  Matrix<double> u(svd.u.rows(), k);
+  for (index_t i = 0; i < u.rows(); ++i)
+    for (index_t j = 0; j < k; ++j)
+      u(i, j) = static_cast<double>(svd.u(i, j));
+  return u;
+}
+
+/// Gram-path left singular vectors of A in precision T, lifted to double.
+template <class T>
+Matrix<double> gram_left_vectors(const Matrix<double>& a, index_t k) {
+  auto at = data::round_to<T>(a);
+  Matrix<T> g(at.rows(), at.rows());
+  blas::syrk(T(1), MatView<const T>(at.view()), T(0), g.view());
+  auto eig = la::tridiag_eig(MatView<const T>(g.view()));
+  Matrix<double> u(eig.v.rows(), k);
+  for (index_t i = 0; i < u.rows(); ++i)
+    for (index_t j = 0; j < k; ++j)
+      u(i, j) = static_cast<double>(eig.v(i, j));
+  return u;
+}
+
+/// Exact leading-k subspace from the construction (double QR path at a
+/// spectrum where double is exact to ~1e-14).
+Matrix<double> reference_subspace(const Matrix<double>& a, index_t k) {
+  return qr_left_vectors<double>(a, k);
+}
+
+// Spectrum: ||A|| = 1, the leading k values decay geometrically from 1 to
+// sigma_k (so the amplification factor ||A||/sigma_k is controllable), and
+// a gap of 10x separates sigma_k from the tail.
+Matrix<double> gapped_matrix(index_t m, index_t k, double sigma_k,
+                             std::uint64_t seed) {
+  std::vector<double> s(static_cast<std::size_t>(m));
+  for (index_t i = 0; i < m; ++i) {
+    if (i < k)
+      s[static_cast<std::size_t>(i)] =
+          k == 1 ? sigma_k
+                 : std::pow(sigma_k, static_cast<double>(i) /
+                                         static_cast<double>(k - 1));
+    else
+      s[static_cast<std::size_t>(i)] =
+          0.1 * sigma_k * std::pow(0.7, static_cast<double>(i - k));
+  }
+  return data::matrix_with_spectrum(m, 6 * m, s, seed);
+}
+
+// -------- Theorem 1: QR path, errors O(eps ||A||) --------------------
+
+TEST(Theorem1Test, SingularValueErrorScalesWithEps) {
+  const index_t m = 24;
+  auto sigma = data::geometric_spectrum(m, 1.0, 1e-4);
+  auto a = data::matrix_with_spectrum(m, 6 * m, sigma, 5001);
+
+  // Double: errors ~ eps_d * ||A||.
+  auto dd = qr_left_vectors<double>(a, m);  // also computes sigma... redo:
+  auto at = data::round_to<double>(a);
+  std::vector<double> tau;
+  la::gelqf(at.view(), tau);
+  auto l = la::extract_l<double>(at.view());
+  auto svd_d = la::bidiag_svd(MatView<const double>(l.view()));
+  for (index_t i = 0; i < m; ++i)
+    EXPECT_NEAR(svd_d.sigma[static_cast<std::size_t>(i)],
+                sigma[static_cast<std::size_t>(i)], 100 * 2.2e-16 * sigma[0])
+        << i;
+
+  // Single: errors ~ eps_s * ||A||, absolute -- not eps_s * sigma_i.
+  auto af = data::round_to<float>(a);
+  std::vector<float> tauf;
+  la::gelqf(af.view(), tauf);
+  auto lf = la::extract_l<float>(af.view());
+  auto svd_s = la::bidiag_svd(MatView<const float>(lf.view()));
+  for (index_t i = 0; i < m; ++i)
+    EXPECT_NEAR(static_cast<double>(svd_s.sigma[static_cast<std::size_t>(i)]),
+                sigma[static_cast<std::size_t>(i)], 100 * 1.2e-7 * sigma[0])
+        << i;
+}
+
+class SubspaceGapTest : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(SubspaceGapTest, QrSingleAngleBoundedByEpsOverGap) {
+  // Theorem 1 eq (3): theta(range Uk, range ~Uk) = O(eps ||A|| / gap).
+  const index_t k = GetParam();
+  const double sigma_k = 1e-2;
+  auto a = gapped_matrix(20, k, sigma_k, 5100 + static_cast<unsigned>(k));
+  auto ref = reference_subspace(a, k);
+  auto got = qr_left_vectors<float>(a, k);
+  const double gap = sigma_k - 0.1 * sigma_k;
+  const double bound = 1.2e-7 /* eps_s, ||A|| = 1 */ / gap;
+  EXPECT_LE(max_principal_angle_sin(MatView<const double>(ref.view()),
+                                    MatView<const double>(got.view())),
+            200 * bound)
+      << "k=" << k;
+}
+
+TEST_P(SubspaceGapTest, GramSingleAngleAmplifiedByConditionFactor) {
+  // Theorem 2 eq (7): the Gram angle carries an extra ||A||/sigma_k factor.
+  // At sigma_k = 3e-3 (||A||/sigma_k ~ 500 with this spectrum's leading
+  // growth) the Gram-single subspace must be substantially worse than the
+  // QR-single one; at sigma_k ~ ||A|| they should be comparable.
+  const index_t k = GetParam();
+  auto tight = gapped_matrix(20, k, 3e-3, 5200 + static_cast<unsigned>(k));
+  auto ref = reference_subspace(tight, k);
+  auto qr1 = qr_left_vectors<float>(tight, k);
+  auto gr1 = gram_left_vectors<float>(tight, k);
+  const double angle_qr = max_principal_angle_sin(
+      MatView<const double>(ref.view()), MatView<const double>(qr1.view()));
+  const double angle_gram = max_principal_angle_sin(
+      MatView<const double>(ref.view()), MatView<const double>(gr1.view()));
+  // Gram's subspace error exceeds QR's by at least ~a factor of the
+  // amplification (allowing generous slack for constants).
+  EXPECT_GT(angle_gram, 3 * angle_qr) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(GapPositions, SubspaceGapTest,
+                         ::testing::Values(2, 4, 7));
+
+TEST(Theorem2Test, GramSigmaErrorScalesWithAmplification) {
+  // Theorem 2 eq (5): |~sigma_i - sigma_i| = O(eps ||A||^2 / sigma_i).
+  const index_t m = 24;
+  auto sigma = data::geometric_spectrum(m, 1.0, 1e-5);
+  auto a = data::matrix_with_spectrum(m, 6 * m, sigma, 5301);
+  auto af = data::round_to<float>(a);
+  Matrix<float> g(m, m);
+  blas::syrk(1.0f, MatView<const float>(af.view()), 0.0f, g.view());
+  auto eig = la::tridiag_eig(MatView<const float>(g.view()));
+  for (index_t i = 0; i < m; ++i) {
+    const double truth = sigma[static_cast<std::size_t>(i)];
+    const double got = std::sqrt(std::abs(
+        static_cast<double>(eig.lambda[static_cast<std::size_t>(i)])));
+    // Bound with a generous constant; the *shape* (error grows as sigma
+    // shrinks) is what the theorem asserts.
+    const double bound = 200 * 1.2e-7 / std::max(truth, 1.2e-7);
+    EXPECT_LE(std::abs(got - truth), bound + 1e-7) << i;
+  }
+}
+
+TEST(Theorem2Test, LowRankResidualAmplification) {
+  // Eqs (4) vs (8): the rank-k residual through the computed subspace.
+  // Build A with an exact rank-6 signal plus a tiny tail; in single
+  // precision the QR subspace captures the signal to ~eps_s while the Gram
+  // subspace leaves an amplified residual when sigma_k is small.
+  const index_t m = 18, k = 6;
+  std::vector<double> s(static_cast<std::size_t>(m));
+  for (index_t i = 0; i < m; ++i)
+    s[static_cast<std::size_t>(i)] = i < k ? 2e-3 * std::pow(2.0, k - 1. - i)
+                                           : 1e-9;
+  auto a = data::matrix_with_spectrum(m, 8 * m, s, 5401);
+
+  auto residual = [&](const Matrix<double>& u) {
+    // ||(I - U U^T) A||_F
+    Matrix<double> coeff(k, a.cols());
+    blas::gemm(1.0, MatView<const double>(u.view().t()),
+               MatView<const double>(a.view()), 0.0, coeff.view());
+    Matrix<double> proj(m, a.cols());
+    blas::gemm(1.0, MatView<const double>(u.view()),
+               MatView<const double>(coeff.view()), 0.0, proj.view());
+    double r = 0;
+    for (index_t i = 0; i < m; ++i)
+      for (index_t j = 0; j < a.cols(); ++j) {
+        const double d = a(i, j) - proj(i, j);
+        r += d * d;
+      }
+    return std::sqrt(r);
+  };
+
+  const double res_qr = residual(qr_left_vectors<float>(a, k));
+  const double res_gram = residual(gram_left_vectors<float>(a, k));
+  // Both leave at least the exact tail; Gram leaves meaningfully more.
+  EXPECT_GT(res_gram, 2 * res_qr);
+}
+
+}  // namespace
+}  // namespace tucker

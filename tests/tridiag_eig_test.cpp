@@ -1,0 +1,149 @@
+// Tests for the tridiagonalization + implicit-QL eigensolver, validated
+// against known spectra and the Jacobi backend.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/blas1.hpp"
+#include "blas/gemm.hpp"
+#include "common/rng.hpp"
+#include "data/synthetic_matrix.hpp"
+#include "lapack/eig.hpp"
+#include "lapack/tridiag_eig.hpp"
+
+namespace tucker {
+namespace {
+
+using blas::index_t;
+using blas::Matrix;
+using blas::MatView;
+
+template <class T>
+T orthogonality_error(MatView<const T> q) {
+  Matrix<T> g(q.cols(), q.cols());
+  blas::gemm(T(1), MatView<const T>(q.t()), q, T(0), g.view());
+  T e = T(0);
+  for (index_t i = 0; i < g.rows(); ++i)
+    for (index_t j = 0; j < g.cols(); ++j)
+      e = std::max(e, std::abs(g(i, j) - (i == j ? T(1) : T(0))));
+  return e;
+}
+
+Matrix<double> random_symmetric(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  auto g = data::gaussian_matrix(n, n, rng);
+  Matrix<double> a(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) a(i, j) = g(i, j) + g(j, i);
+  return a;
+}
+
+TEST(TridiagEigTest, DiagonalMatrix) {
+  Matrix<double> a(3, 3);
+  a(0, 0) = -2;
+  a(1, 1) = 5;
+  a(2, 2) = 0.5;
+  auto r = la::tridiag_eig(MatView<const double>(a.view()));
+  EXPECT_NEAR(r.lambda[0], 5, 1e-13);
+  EXPECT_NEAR(r.lambda[1], -2, 1e-13);
+  EXPECT_NEAR(r.lambda[2], 0.5, 1e-13);
+}
+
+TEST(TridiagEigTest, TwoByTwoExact) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = a(1, 0) = 1;
+  a(1, 1) = 2;
+  auto r = la::tridiag_eig(MatView<const double>(a.view()));
+  EXPECT_NEAR(r.lambda[0], 3.0, 1e-13);
+  EXPECT_NEAR(r.lambda[1], 1.0, 1e-13);
+}
+
+class TridiagSizeTest : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(TridiagSizeTest, EigenpairsSatisfyDefinition) {
+  const index_t n = GetParam();
+  auto a = random_symmetric(n, 4000 + static_cast<unsigned>(n));
+  auto r = la::tridiag_eig(MatView<const double>(a.view()));
+  EXPECT_LE(orthogonality_error(MatView<const double>(r.v.view())), 1e-11);
+  Matrix<double> av(n, n);
+  blas::gemm(1.0, MatView<const double>(a.view()),
+             MatView<const double>(r.v.view()), 0.0, av.view());
+  const double scale = std::abs(r.lambda[0]);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      EXPECT_NEAR(av(i, j), r.lambda[static_cast<std::size_t>(j)] * r.v(i, j),
+                  1e-11 * scale)
+          << "n=" << n << " (" << i << "," << j << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 17, 40));
+
+TEST(TridiagEigTest, MatchesJacobiOnRandomMatrices) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    auto a = random_symmetric(24, 4100 + seed);
+    auto tq = la::tridiag_eig(MatView<const double>(a.view()));
+    auto ja = la::jacobi_eig(MatView<const double>(a.view()));
+    for (std::size_t i = 0; i < tq.lambda.size(); ++i)
+      EXPECT_NEAR(tq.lambda[i], ja.lambda[i], 1e-10 * std::abs(ja.lambda[0]))
+          << "seed " << seed << " i " << i;
+  }
+}
+
+TEST(TridiagEigTest, GramMatrixEigenvalues) {
+  // The Gram-path use case: eigenvalues of A A^T are sigma_i^2.
+  auto sigma = data::geometric_spectrum(12, 2.0, 1e-3);
+  auto a = data::matrix_with_spectrum(12, 60, sigma, 4200);
+  Matrix<double> gram(12, 12);
+  blas::syrk(1.0, MatView<const double>(a.view()), 0.0, gram.view());
+  auto r = la::tridiag_eig(MatView<const double>(gram.view()));
+  for (std::size_t i = 0; i < 12; ++i)
+    EXPECT_NEAR(r.lambda[i], sigma[i] * sigma[i],
+                1e-11 * sigma[0] * sigma[0]);
+}
+
+TEST(TridiagEigTest, NegativeDefinite) {
+  Rng rng(4300);
+  auto g0 = data::gaussian_matrix(8, 16, rng);
+  Matrix<double> g(8, 8);
+  blas::syrk(-1.0, MatView<const double>(g0.view()), 0.0, g.view());
+  auto r = la::tridiag_eig(MatView<const double>(g.view()));
+  for (double lam : r.lambda) EXPECT_LT(lam, 0.0);
+}
+
+TEST(TridiagEigTest, SinglePrecision) {
+  auto ad = random_symmetric(16, 4400);
+  auto a = data::round_to<float>(ad);
+  auto rf = la::tridiag_eig(MatView<const float>(a.view()));
+  auto rd = la::tridiag_eig(MatView<const double>(ad.view()));
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_NEAR(static_cast<double>(rf.lambda[i]), rd.lambda[i],
+                1e-4 * std::abs(rd.lambda[0]));
+  EXPECT_LE(orthogonality_error(MatView<const float>(rf.v.view())), 1e-4f);
+}
+
+TEST(TridiagEigTest, ClusteredEigenvaluesConverge) {
+  // Nearly-degenerate eigenvalues: iteration must still converge and keep
+  // the eigenvectors orthonormal.
+  Rng rng(4500);
+  auto q = data::random_orthonormal(20, 20, rng);
+  Matrix<double> a(20, 20);
+  std::vector<double> lam(20, 1.0);
+  lam[0] = 1.0 + 1e-12;
+  lam[19] = 2.0;
+  for (index_t i = 0; i < 20; ++i)
+    for (index_t j = 0; j < 20; ++j) {
+      double s = 0;
+      for (index_t k = 0; k < 20; ++k)
+        s += q(i, k) * lam[static_cast<std::size_t>(k)] * q(j, k);
+      a(i, j) = s;
+    }
+  auto r = la::tridiag_eig(MatView<const double>(a.view()));
+  EXPECT_NEAR(r.lambda[0], 2.0, 1e-11);
+  EXPECT_LE(orthogonality_error(MatView<const double>(r.v.view())), 1e-11);
+}
+
+}  // namespace
+}  // namespace tucker

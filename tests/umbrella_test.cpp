@@ -1,0 +1,21 @@
+// Smoke test: the umbrella header compiles standalone and exposes the API.
+
+#include <gtest/gtest.h>
+
+#include "tucker.hpp"
+
+namespace {
+
+TEST(UmbrellaHeaderTest, EndToEndSmoke) {
+  auto x = tucker::data::tensor_with_spectra(
+      {8, 7, 6}, {tucker::data::DecayProfile::geometric(1, 1e-3),
+                  tucker::data::DecayProfile::geometric(1, 1e-3),
+                  tucker::data::DecayProfile::geometric(1, 1e-3)},
+      99);
+  auto res = tucker::core::sthosvd(
+      x, tucker::core::TruncationSpec::tolerance(1e-2),
+      tucker::core::SvdMethod::kQr);
+  EXPECT_LE(tucker::core::relative_error(x, res.tucker), 1e-2);
+}
+
+}  // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_solvers.dir/ablation_solvers.cpp.o"
+  "CMakeFiles/ablation_solvers.dir/ablation_solvers.cpp.o.d"
+  "ablation_solvers"
+  "ablation_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_weak_scaling.dir/fig3_weak_scaling.cpp.o"
+  "CMakeFiles/fig3_weak_scaling.dir/fig3_weak_scaling.cpp.o.d"
+  "fig3_weak_scaling"
+  "fig3_weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

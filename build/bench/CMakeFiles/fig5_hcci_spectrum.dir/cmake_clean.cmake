@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hcci_spectrum.dir/fig5_hcci_spectrum.cpp.o"
+  "CMakeFiles/fig5_hcci_spectrum.dir/fig5_hcci_spectrum.cpp.o.d"
+  "fig5_hcci_spectrum"
+  "fig5_hcci_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hcci_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

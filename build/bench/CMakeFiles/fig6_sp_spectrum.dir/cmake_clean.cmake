@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sp_spectrum.dir/fig6_sp_spectrum.cpp.o"
+  "CMakeFiles/fig6_sp_spectrum.dir/fig6_sp_spectrum.cpp.o.d"
+  "fig6_sp_spectrum"
+  "fig6_sp_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sp_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tab2_hcci.dir/fig8_tab2_hcci.cpp.o"
+  "CMakeFiles/fig8_tab2_hcci.dir/fig8_tab2_hcci.cpp.o.d"
+  "fig8_tab2_hcci"
+  "fig8_tab2_hcci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tab2_hcci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_tab3_sp.dir/fig9_tab3_sp.cpp.o"
+  "CMakeFiles/fig9_tab3_sp.dir/fig9_tab3_sp.cpp.o.d"
+  "fig9_tab3_sp"
+  "fig9_tab3_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_tab3_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combustion_compression.dir/combustion_compression.cpp.o"
+  "CMakeFiles/combustion_compression.dir/combustion_compression.cpp.o.d"
+  "combustion_compression"
+  "combustion_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combustion_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

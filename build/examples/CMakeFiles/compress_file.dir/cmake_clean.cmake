@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_file.dir/compress_file.cpp.o"
+  "CMakeFiles/compress_file.dir/compress_file.cpp.o.d"
+  "compress_file"
+  "compress_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

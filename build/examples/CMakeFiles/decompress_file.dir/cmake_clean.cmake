@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompress_file.dir/decompress_file.cpp.o"
+  "CMakeFiles/decompress_file.dir/decompress_file.cpp.o.d"
+  "decompress_file"
+  "decompress_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompress_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

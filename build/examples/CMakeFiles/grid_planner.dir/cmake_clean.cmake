@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_planner.dir/grid_planner.cpp.o"
+  "CMakeFiles/grid_planner.dir/grid_planner.cpp.o.d"
+  "grid_planner"
+  "grid_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/par_compress_file.dir/par_compress_file.cpp.o"
+  "CMakeFiles/par_compress_file.dir/par_compress_file.cpp.o.d"
+  "par_compress_file"
+  "par_compress_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/par_compress_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_picker.dir/precision_picker.cpp.o"
+  "CMakeFiles/precision_picker.dir/precision_picker.cpp.o.d"
+  "precision_picker"
+  "precision_picker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_picker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_compression.dir/video_compression.cpp.o"
+  "CMakeFiles/video_compression.dir/video_compression.cpp.o.d"
+  "video_compression"
+  "video_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/flops.cpp" "src/CMakeFiles/tucker.dir/common/flops.cpp.o" "gcc" "src/CMakeFiles/tucker.dir/common/flops.cpp.o.d"
+  "/root/repo/src/common/timer.cpp" "src/CMakeFiles/tucker.dir/common/timer.cpp.o" "gcc" "src/CMakeFiles/tucker.dir/common/timer.cpp.o.d"
+  "/root/repo/src/simmpi/comm.cpp" "src/CMakeFiles/tucker.dir/simmpi/comm.cpp.o" "gcc" "src/CMakeFiles/tucker.dir/simmpi/comm.cpp.o.d"
+  "/root/repo/src/simmpi/runtime.cpp" "src/CMakeFiles/tucker.dir/simmpi/runtime.cpp.o" "gcc" "src/CMakeFiles/tucker.dir/simmpi/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tucker.dir/common/flops.cpp.o"
+  "CMakeFiles/tucker.dir/common/flops.cpp.o.d"
+  "CMakeFiles/tucker.dir/common/timer.cpp.o"
+  "CMakeFiles/tucker.dir/common/timer.cpp.o.d"
+  "CMakeFiles/tucker.dir/simmpi/comm.cpp.o"
+  "CMakeFiles/tucker.dir/simmpi/comm.cpp.o.d"
+  "CMakeFiles/tucker.dir/simmpi/runtime.cpp.o"
+  "CMakeFiles/tucker.dir/simmpi/runtime.cpp.o.d"
+  "libtucker.a"
+  "libtucker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tucker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

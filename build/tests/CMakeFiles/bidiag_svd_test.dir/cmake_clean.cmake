@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bidiag_svd_test.dir/bidiag_svd_test.cpp.o"
+  "CMakeFiles/bidiag_svd_test.dir/bidiag_svd_test.cpp.o.d"
+  "bidiag_svd_test"
+  "bidiag_svd_test.pdb"
+  "bidiag_svd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bidiag_svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

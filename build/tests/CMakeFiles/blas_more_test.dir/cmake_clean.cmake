@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blas_more_test.dir/blas_more_test.cpp.o"
+  "CMakeFiles/blas_more_test.dir/blas_more_test.cpp.o.d"
+  "blas_more_test"
+  "blas_more_test.pdb"
+  "blas_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blas_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

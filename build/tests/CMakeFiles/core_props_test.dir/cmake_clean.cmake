@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_props_test.dir/core_props_test.cpp.o"
+  "CMakeFiles/core_props_test.dir/core_props_test.cpp.o.d"
+  "core_props_test"
+  "core_props_test.pdb"
+  "core_props_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_props_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

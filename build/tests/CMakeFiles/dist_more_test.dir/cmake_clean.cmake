@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_more_test.dir/dist_more_test.cpp.o"
+  "CMakeFiles/dist_more_test.dir/dist_more_test.cpp.o.d"
+  "dist_more_test"
+  "dist_more_test.pdb"
+  "dist_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapack_more_test.dir/lapack_more_test.cpp.o"
+  "CMakeFiles/lapack_more_test.dir/lapack_more_test.cpp.o.d"
+  "lapack_more_test"
+  "lapack_more_test.pdb"
+  "lapack_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapack_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

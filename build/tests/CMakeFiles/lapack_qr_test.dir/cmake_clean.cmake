@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapack_qr_test.dir/lapack_qr_test.cpp.o"
+  "CMakeFiles/lapack_qr_test.dir/lapack_qr_test.cpp.o.d"
+  "lapack_qr_test"
+  "lapack_qr_test.pdb"
+  "lapack_qr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapack_qr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapack_svd_test.dir/lapack_svd_test.cpp.o"
+  "CMakeFiles/lapack_svd_test.dir/lapack_svd_test.cpp.o.d"
+  "lapack_svd_test"
+  "lapack_svd_test.pdb"
+  "lapack_svd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapack_svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

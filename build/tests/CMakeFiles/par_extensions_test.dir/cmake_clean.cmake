@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/par_extensions_test.dir/par_extensions_test.cpp.o"
+  "CMakeFiles/par_extensions_test.dir/par_extensions_test.cpp.o.d"
+  "par_extensions_test"
+  "par_extensions_test.pdb"
+  "par_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/par_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/par_sthosvd_test.dir/par_sthosvd_test.cpp.o"
+  "CMakeFiles/par_sthosvd_test.dir/par_sthosvd_test.cpp.o.d"
+  "par_sthosvd_test"
+  "par_sthosvd_test.pdb"
+  "par_sthosvd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/par_sthosvd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_more_test.dir/simmpi_more_test.cpp.o"
+  "CMakeFiles/simmpi_more_test.dir/simmpi_more_test.cpp.o.d"
+  "simmpi_more_test"
+  "simmpi_more_test.pdb"
+  "simmpi_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

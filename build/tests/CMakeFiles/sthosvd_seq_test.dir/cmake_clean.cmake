@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sthosvd_seq_test.dir/sthosvd_seq_test.cpp.o"
+  "CMakeFiles/sthosvd_seq_test.dir/sthosvd_seq_test.cpp.o.d"
+  "sthosvd_seq_test"
+  "sthosvd_seq_test.pdb"
+  "sthosvd_seq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sthosvd_seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

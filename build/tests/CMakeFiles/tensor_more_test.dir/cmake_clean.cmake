@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_more_test.dir/tensor_more_test.cpp.o"
+  "CMakeFiles/tensor_more_test.dir/tensor_more_test.cpp.o.d"
+  "tensor_more_test"
+  "tensor_more_test.pdb"
+  "tensor_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

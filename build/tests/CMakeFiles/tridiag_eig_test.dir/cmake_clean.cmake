@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tridiag_eig_test.dir/tridiag_eig_test.cpp.o"
+  "CMakeFiles/tridiag_eig_test.dir/tridiag_eig_test.cpp.o.d"
+  "tridiag_eig_test"
+  "tridiag_eig_test.pdb"
+  "tridiag_eig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tridiag_eig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

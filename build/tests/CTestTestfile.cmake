@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/blas_test[1]_include.cmake")
+include("/root/repo/build/tests/lapack_qr_test[1]_include.cmake")
+include("/root/repo/build/tests/lapack_svd_test[1]_include.cmake")
+include("/root/repo/build/tests/simmpi_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/sthosvd_seq_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_test[1]_include.cmake")
+include("/root/repo/build/tests/par_sthosvd_test[1]_include.cmake")
+include("/root/repo/build/tests/blas_more_test[1]_include.cmake")
+include("/root/repo/build/tests/lapack_more_test[1]_include.cmake")
+include("/root/repo/build/tests/simmpi_more_test[1]_include.cmake")
+include("/root/repo/build/tests/core_props_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_more_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_more_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/par_more_test[1]_include.cmake")
+include("/root/repo/build/tests/bidiag_svd_test[1]_include.cmake")
+include("/root/repo/build/tests/preprocess_test[1]_include.cmake")
+include("/root/repo/build/tests/tridiag_eig_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/umbrella_test[1]_include.cmake")
+include("/root/repo/build/tests/theorem_bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/par_extensions_test[1]_include.cmake")

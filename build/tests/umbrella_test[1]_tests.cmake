@@ -1,0 +1,3 @@
+add_test([=[UmbrellaHeaderTest.EndToEndSmoke]=]  /root/repo/build/tests/umbrella_test [==[--gtest_filter=UmbrellaHeaderTest.EndToEndSmoke]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[UmbrellaHeaderTest.EndToEndSmoke]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  umbrella_test_TESTS UmbrellaHeaderTest.EndToEndSmoke)

@@ -4,20 +4,33 @@
 // (geqr vs gelq), the structured tpqrt merge, and the small dense
 // SVD/EVD solvers. Reported flop rates feed the cost-model sanity checks
 // in EXPERIMENTS.md.
+//
+// Threaded-vs-serial cases (BM_*_threads) sweep the tucker::parallel pool
+// width. Running with --kernels-json[=PATH] skips the google-benchmark
+// harness and instead writes a machine-readable serial/threaded sweep to
+// BENCH_kernels.json (default PATH), which CI and later PRs use to track
+// the kernel-throughput trajectory.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "blas/gemm.hpp"
 #include "blas/matrix.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "data/synthetic_matrix.hpp"
 #include "lapack/eig.hpp"
 #include "lapack/tridiag_eig.hpp"
 #include "lapack/qr.hpp"
 #include "lapack/svd.hpp"
 #include "lapack/tpqrt.hpp"
+#include "tensor/ttm.hpp"
 
 namespace {
 
@@ -176,6 +189,203 @@ void BM_tridiag_eig(benchmark::State& state) {
 BENCHMARK_TEMPLATE(BM_tridiag_eig, float)->Arg(32)->Arg(64)->Arg(128);
 BENCHMARK_TEMPLATE(BM_tridiag_eig, double)->Arg(32)->Arg(64)->Arg(128);
 
+// ------------------------------------------------- threaded vs serial
+
+// Args: {size, pool width}. The pool is reconfigured per run so one binary
+// sweeps thread counts; results are bitwise-identical across widths by the
+// thread_pool.hpp determinism guarantee, so only timing differs.
+
+template <class T>
+void BM_gemm_threads(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  tucker::parallel::set_max_threads(threads);
+  auto a = rand_mat<T>(n, n, 1);
+  auto b = rand_mat<T>(n, n, 2);
+  Matrix<T> c(n, n);
+  for (auto _ : state) {
+    tucker::blas::gemm(T(1), MatView<const T>(a.view()),
+                       MatView<const T>(b.view()), T(0), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  tucker::parallel::set_max_threads(1);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK_TEMPLATE(BM_gemm_threads, float)
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4});
+BENCHMARK_TEMPLATE(BM_gemm_threads, double)
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4});
+
+template <class T>
+void BM_syrk_threads(benchmark::State& state) {
+  const index_t m = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  tucker::parallel::set_max_threads(threads);
+  const index_t n = 2 * m;
+  auto a = rand_mat<T>(m, n, 3);
+  Matrix<T> g(m, m);
+  for (auto _ : state) {
+    tucker::blas::syrk(T(1), MatView<const T>(a.view()), T(0), g.view());
+    benchmark::DoNotOptimize(g.data());
+  }
+  tucker::parallel::set_max_threads(1);
+  state.SetItemsProcessed(state.iterations() * m * (m + 1) * n);
+}
+BENCHMARK_TEMPLATE(BM_syrk_threads, float)
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4});
+BENCHMARK_TEMPLATE(BM_syrk_threads, double)
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4});
+
+template <class T>
+void BM_ttm_threads(benchmark::State& state) {
+  const index_t d = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  tucker::parallel::set_max_threads(threads);
+  tucker::tensor::Tensor<T> x({d, d, d});
+  tucker::Rng rng(4);
+  for (index_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal<T>();
+  auto u = rand_mat<T>(d / 2, d, 5);
+  for (auto _ : state) {
+    auto y = tucker::tensor::ttm(x, 1, MatView<const T>(u.view()));
+    benchmark::DoNotOptimize(y.data());
+  }
+  tucker::parallel::set_max_threads(1);
+  state.SetItemsProcessed(state.iterations() * 2 * (d / 2) * d * d * d);
+}
+BENCHMARK_TEMPLATE(BM_ttm_threads, float)
+    ->Args({160, 1})->Args({160, 2})->Args({160, 4});
+BENCHMARK_TEMPLATE(BM_ttm_threads, double)
+    ->Args({160, 1})->Args({160, 2})->Args({160, 4});
+
+// ------------------------------------------------- JSON sweep mode
+
+// Best-of-reps wall seconds for fn().
+template <class F>
+double time_best(F&& fn, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct SweepRow {
+  const char* kernel;
+  const char* precision;
+  index_t size;
+  int threads;
+  double seconds;
+  double gflops;
+  double speedup_vs_1t;
+};
+
+template <class T>
+void sweep_kernels(std::vector<SweepRow>& rows, const char* prec) {
+  const int widths[] = {1, 2, 4};
+  // gemm: n x n x n.
+  {
+    const index_t n = 1024;
+    auto a = rand_mat<T>(n, n, 1);
+    auto b = rand_mat<T>(n, n, 2);
+    Matrix<T> c(n, n);
+    const double flops = 2.0 * n * n * n;
+    double base = 0;
+    for (int w : widths) {
+      tucker::parallel::set_max_threads(w);
+      const double s = time_best(
+          [&] {
+            tucker::blas::gemm(T(1), MatView<const T>(a.view()),
+                               MatView<const T>(b.view()), T(0), c.view());
+          },
+          2);
+      if (w == 1) base = s;
+      rows.push_back({"gemm", prec, n, w, s, flops / s * 1e-9, base / s});
+    }
+  }
+  // syrk: m x m Gram of an m x 2m unfolding.
+  {
+    const index_t m = 1024, n = 2 * m;
+    auto a = rand_mat<T>(m, n, 3);
+    Matrix<T> g(m, m);
+    const double flops = static_cast<double>(m) * (m + 1) * n;
+    double base = 0;
+    for (int w : widths) {
+      tucker::parallel::set_max_threads(w);
+      const double s = time_best(
+          [&] {
+            tucker::blas::syrk(T(1), MatView<const T>(a.view()), T(0),
+                               g.view());
+          },
+          2);
+      if (w == 1) base = s;
+      rows.push_back({"syrk", prec, m, w, s, flops / s * 1e-9, base / s});
+    }
+  }
+  // ttm: mode-1 product of a d^3 cube with a (d/2 x d) factor.
+  {
+    const index_t d = 160;
+    tucker::tensor::Tensor<T> x({d, d, d});
+    tucker::Rng rng(4);
+    for (index_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal<T>();
+    auto u = rand_mat<T>(d / 2, d, 5);
+    const double flops = 2.0 * (d / 2) * d * d * d;
+    double base = 0;
+    for (int w : widths) {
+      tucker::parallel::set_max_threads(w);
+      const double s = time_best(
+          [&] {
+            auto y = tucker::tensor::ttm(x, 1, MatView<const T>(u.view()));
+            benchmark::DoNotOptimize(y.data());
+          },
+          2);
+      if (w == 1) base = s;
+      rows.push_back({"ttm", prec, d, w, s, flops / s * 1e-9, base / s});
+    }
+  }
+}
+
+int run_json_sweep(const std::string& path) {
+  std::vector<SweepRow> rows;
+  sweep_kernels<float>(rows, "float");
+  sweep_kernels<double>(rows, "double");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"max_threads_default\": %d,\n  \"results\": [\n",
+               tucker::parallel::max_threads());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"precision\": \"%s\", "
+                 "\"size\": %lld, \"threads\": %d, \"seconds\": %.6f, "
+                 "\"gflops\": %.3f, \"speedup_vs_1t\": %.3f}%s\n",
+                 r.kernel, r.precision, static_cast<long long>(r.size),
+                 r.threads, r.seconds, r.gflops, r.speedup_vs_1t,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--kernels-json", 14) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return run_json_sweep(eq ? eq + 1 : "BENCH_kernels.json");
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

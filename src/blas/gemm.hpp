@@ -5,13 +5,22 @@
 // spends nearly all its time in syrk on unfolding blocks (TuckerMPI Alg 2),
 // and both approaches share gemm inside the TTM truncation. Kernels take
 // stride-generic views; transposition is expressed with MatView::t().
+//
+// Both kernels are multithreaded through tucker::parallel by partitioning
+// the *output*: gemm over row or column panels of C, syrk over balanced row
+// bands of the triangle. Partitions write disjoint elements and every
+// element keeps the serial k-accumulation order, so results are bitwise
+// identical for every thread count (see thread_pool.hpp). Small problems
+// take the original serial path untouched.
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "blas/blas1.hpp"
 #include "blas/matview.hpp"
 #include "common/flops.hpp"
+#include "common/thread_pool.hpp"
 
 namespace tucker::blas {
 
@@ -21,6 +30,10 @@ namespace detail {
 // kb bounds the working set of B rows reused across the i loop.
 inline constexpr index_t kGemmJB = 512;
 inline constexpr index_t kGemmKB = 64;
+
+// Minimum flop count before a kernel fans out to the pool: below this the
+// per-chunk dispatch overhead beats the parallel win.
+inline constexpr double kParFlopThreshold = 1e5;
 
 }  // namespace detail
 
@@ -55,46 +68,70 @@ void gemm(T alpha, MatView<const T> a, MatView<const T> b, T beta,
   if (alpha == T(0) || k == 0) return;
 
   const bool pack_b = b.col_stride() != 1;
-  static thread_local std::vector<T> btile;
-  if (pack_b)
-    btile.resize(
-        static_cast<std::size_t>(detail::kGemmKB * detail::kGemmJB));
 
   if (c.col_stride() == 1) {
     // i-k-j order with contiguous inner axpy; blocked over j (keeps the C
-    // chunk resident) and k (bounds the B tile streamed per pass).
-    for (index_t j0 = 0; j0 < n; j0 += detail::kGemmJB) {
-      const index_t jn = std::min(detail::kGemmJB, n - j0);
-      for (index_t k0 = 0; k0 < k; k0 += detail::kGemmKB) {
-        const index_t kn = std::min(detail::kGemmKB, k - k0);
-        if (pack_b) {
-          // Read along B's contiguous direction (column-major B is the
-          // common case) so the pack streams memory instead of striding.
-          if (b.row_stride() == 1) {
-            for (index_t j = 0; j < jn; ++j) {
-              const T* src = &b(k0, j0 + j);
+    // chunk resident) and k (bounds the B tile streamed per pass). The
+    // tile covers (ilo:ihi, jlo:jhi) of C; each parallel task runs it over
+    // its own panel with per-worker pack scratch. The k-accumulation order
+    // per element never depends on the panel bounds, so any partition of C
+    // yields bits identical to the serial run.
+    auto run_panel = [&](index_t ilo, index_t ihi, index_t jlo, index_t jhi) {
+      static thread_local std::vector<T> btile;
+      if (pack_b)
+        btile.resize(
+            static_cast<std::size_t>(detail::kGemmKB * detail::kGemmJB));
+      for (index_t j0 = jlo; j0 < jhi; j0 += detail::kGemmJB) {
+        const index_t jn = std::min(detail::kGemmJB, jhi - j0);
+        for (index_t k0 = 0; k0 < k; k0 += detail::kGemmKB) {
+          const index_t kn = std::min(detail::kGemmKB, k - k0);
+          if (pack_b) {
+            // Read along B's contiguous direction (column-major B is the
+            // common case) so the pack streams memory instead of striding.
+            if (b.row_stride() == 1) {
+              for (index_t j = 0; j < jn; ++j) {
+                const T* src = &b(k0, j0 + j);
+                for (index_t kk = 0; kk < kn; ++kk)
+                  btile[static_cast<std::size_t>(kk * jn + j)] = src[kk];
+              }
+            } else {
               for (index_t kk = 0; kk < kn; ++kk)
-                btile[static_cast<std::size_t>(kk * jn + j)] = src[kk];
+                for (index_t j = 0; j < jn; ++j)
+                  btile[static_cast<std::size_t>(kk * jn + j)] =
+                      b(k0 + kk, j0 + j);
             }
-          } else {
-            for (index_t kk = 0; kk < kn; ++kk)
-              for (index_t j = 0; j < jn; ++j)
-                btile[static_cast<std::size_t>(kk * jn + j)] =
-                    b(k0 + kk, j0 + j);
           }
-        }
-        for (index_t i = 0; i < m; ++i) {
-          T* crow = &c(i, j0);
-          for (index_t kk = 0; kk < kn; ++kk) {
-            const T av = alpha * a(i, k0 + kk);
-            if (av == T(0)) continue;
-            const T* brow = pack_b
-                                ? btile.data() + kk * jn
-                                : &b(k0 + kk, j0);
-            for (index_t j = 0; j < jn; ++j) crow[j] += av * brow[j];
+          for (index_t i = ilo; i < ihi; ++i) {
+            T* crow = &c(i, j0);
+            for (index_t kk = 0; kk < kn; ++kk) {
+              const T av = alpha * a(i, k0 + kk);
+              if (av == T(0)) continue;
+              const T* brow = pack_b
+                                  ? btile.data() + kk * jn
+                                  : &b(k0 + kk, j0);
+              for (index_t j = 0; j < jn; ++j) crow[j] += av * brow[j];
+            }
           }
         }
       }
+    };
+
+    const double work = 2.0 * static_cast<double>(m) * n * k;
+    if (parallel::this_thread_width() > 1 &&
+        work >= detail::kParFlopThreshold) {
+      // Split the larger C dimension; columns preferred (each panel packs
+      // its own B tiles, so column panels never duplicate packing work).
+      if (n >= m || n >= 256) {
+        parallel::parallel_for(0, n, 64, [&](index_t jlo, index_t jhi) {
+          run_panel(0, m, jlo, jhi);
+        });
+      } else {
+        parallel::parallel_for(0, m, 16, [&](index_t ilo, index_t ihi) {
+          run_panel(ilo, ihi, 0, n);
+        });
+      }
+    } else {
+      run_panel(0, m, 0, n);
     }
   } else {
     // Fully generic fallback (neither C orientation contiguous).
@@ -132,41 +169,79 @@ void syrk(T alpha, MatView<const T> a, T beta, MatView<T> c) {
   // contiguous axpy with no floating-point reduction, so it vectorizes
   // under strict FP semantics (a dot-product formulation would serialize on
   // the accumulator). Row-major input is transpose-packed in column tiles.
-  if (c.col_stride() != 1) {
-    // Generic-C fallback (not used by the library's own row-major Grams).
-    for (index_t kk = 0; kk < n; ++kk)
-      for (index_t i = 0; i < m; ++i) {
-        const T av = alpha * a(i, kk);
-        for (index_t j = 0; j <= i; ++j) c(i, j) += av * a(j, kk);
-      }
-  } else if (a.row_stride() == 1) {
-    for (index_t kk = 0; kk < n; ++kk) {
-      const T* col = &a(0, kk);
-      for (index_t i = 0; i < m; ++i) {
-        const T av = alpha * col[i];
-        T* crow = &c(i, 0);
-        for (index_t j = 0; j <= i; ++j) crow[j] += av * col[j];
-      }
-    }
-  } else {
-    constexpr index_t kb = 256;
-    static thread_local std::vector<T> pack;
-    pack.resize(static_cast<std::size_t>(kb * m));
-    for (index_t k0 = 0; k0 < n; k0 += kb) {
-      const index_t kn = std::min(kb, n - k0);
-      for (index_t i = 0; i < m; ++i)
-        for (index_t kk = 0; kk < kn; ++kk)
-          pack[static_cast<std::size_t>(kk * m + i)] = a(i, k0 + kk);
-      for (index_t kk = 0; kk < kn; ++kk) {
-        const T* col = pack.data() + kk * m;
-        for (index_t i = 0; i < m; ++i) {
+  //
+  // Parallel decomposition: row bands [rlo, rhi) of the lower triangle.
+  // Band b of nb bands spans rows [m*sqrt(b/nb), m*sqrt((b+1)/nb)), which
+  // equalizes triangle area per band. Each element keeps the serial
+  // k-accumulation order, so banding never changes the bits.
+  auto run_band = [&](index_t rlo, index_t rhi) {
+    if (rhi <= rlo) return;
+    if (c.col_stride() != 1) {
+      // Generic-C fallback (not used by the library's own row-major Grams).
+      for (index_t kk = 0; kk < n; ++kk)
+        for (index_t i = rlo; i < rhi; ++i) {
+          const T av = alpha * a(i, kk);
+          for (index_t j = 0; j <= i; ++j) c(i, j) += av * a(j, kk);
+        }
+    } else if (a.row_stride() == 1) {
+      for (index_t kk = 0; kk < n; ++kk) {
+        const T* col = &a(0, kk);
+        for (index_t i = rlo; i < rhi; ++i) {
           const T av = alpha * col[i];
           T* crow = &c(i, 0);
           for (index_t j = 0; j <= i; ++j) crow[j] += av * col[j];
         }
       }
+    } else {
+      constexpr index_t kb = 256;
+      static thread_local std::vector<T> pack;
+      pack.resize(static_cast<std::size_t>(kb * m));
+      for (index_t k0 = 0; k0 < n; k0 += kb) {
+        const index_t kn = std::min(kb, n - k0);
+        for (index_t i = 0; i < m; ++i)
+          for (index_t kk = 0; kk < kn; ++kk)
+            pack[static_cast<std::size_t>(kk * m + i)] = a(i, k0 + kk);
+        for (index_t kk = 0; kk < kn; ++kk) {
+          const T* col = pack.data() + kk * m;
+          for (index_t i = rlo; i < rhi; ++i) {
+            const T av = alpha * col[i];
+            T* crow = &c(i, 0);
+            for (index_t j = 0; j <= i; ++j) crow[j] += av * col[j];
+          }
+        }
+      }
     }
+  };
+
+  const double work = static_cast<double>(m) * (m + 1) * n;
+  if (parallel::this_thread_width() > 1 &&
+      work >= detail::kParFlopThreshold && m >= 4) {
+    // Band count from problem size only (not thread count): ~32k triangle
+    // elements per band, at most m bands.
+    const index_t area = m * (m + 1) / 2;
+    const index_t nbands =
+        std::clamp<index_t>(area / 32768 + 1, 1, std::min<index_t>(m, 64));
+    std::vector<index_t> bnd(static_cast<std::size_t>(nbands) + 1, 0);
+    for (index_t b = 1; b < nbands; ++b)
+      bnd[static_cast<std::size_t>(b)] = std::min<index_t>(
+          m, static_cast<index_t>(
+                 std::ceil(m * std::sqrt(static_cast<double>(b) / nbands))));
+    bnd[static_cast<std::size_t>(nbands)] = m;
+    parallel::parallel_for_chunks(
+        0, nbands, 1, [&](index_t band, index_t, index_t) {
+          run_band(bnd[static_cast<std::size_t>(band)],
+                   bnd[static_cast<std::size_t>(band) + 1]);
+        });
+    // Mirror in parallel too: row i of the upper triangle only reads
+    // already-final lower entries (the bands above finished at the barrier).
+    parallel::parallel_for(0, m, 64, [&](index_t rlo, index_t rhi) {
+      for (index_t i = rlo; i < rhi; ++i)
+        for (index_t j = i + 1; j < m; ++j) c(i, j) = c(j, i);
+    });
+    return;
   }
+
+  run_band(0, m);
   for (index_t i = 0; i < m; ++i)
     for (index_t j = i + 1; j < m; ++j) c(i, j) = c(j, i);
 }

@@ -5,6 +5,12 @@
 // benchmark harness can report GFLOPS-per-rank figures (paper Fig 3a) and
 // verify the ~2x QR-vs-Gram flop ratio from the complexity analysis in
 // Sec 3.5 without instrumenting every loop.
+//
+// Interaction with tucker::parallel: counters are strictly per-thread, but
+// parallel_for measures each pool worker's delta around the chunks it
+// executes and credits the sum to the submitting thread before returning.
+// Counts recorded inside a parallel kernel therefore land on the logical
+// owner (FlopScope, simmpi rank totals) exactly as in a serial run.
 
 #include <cstdint>
 

@@ -15,6 +15,7 @@
 #include "blas/blas1.hpp"
 #include "blas/matview.hpp"
 #include "common/flops.hpp"
+#include "common/thread_pool.hpp"
 
 namespace tucker::la {
 
@@ -76,37 +77,62 @@ void apply_reflector(T tau, MatView<const T> vcol, MatView<T> top,
   TUCKER_DCHECK(rest.cols() == n, "apply_reflector: width mismatch");
   tucker::add_flops(4 * m * n);
 
+  // The update is independent per column of [top; rest], so both fast
+  // paths fan out over column ranges: every w(j) keeps its serial i-order
+  // accumulation, and writes are disjoint per column, making the result
+  // bitwise independent of the thread count. Reflector applications inside
+  // small panels stay below the flop threshold and run serially.
+  const bool par = parallel::this_thread_width() > 1 &&
+                   4.0 * static_cast<double>(m) * n >= 1e5;
+
   if (rest.col_stride() == 1 && m > 0) {
     // Row-contiguous rest: accumulate w = top^T + rest^T v row by row,
     // then update row by row. Needs an n-sized scratch vector.
     static thread_local std::vector<T> scratch;
     scratch.assign(static_cast<std::size_t>(n), T(0));
     T* w = scratch.data();
-    for (index_t j = 0; j < n; ++j) w[j] = top(0, j);
-    for (index_t i = 0; i < m; ++i) {
-      const T vi = vcol(i, 0);
-      const T* r = &rest(i, 0);
-      for (index_t j = 0; j < n; ++j) w[j] += vi * r[j];
-    }
-    for (index_t j = 0; j < n; ++j) {
-      w[j] *= tau;
-      top(0, j) -= w[j];
-    }
-    for (index_t i = 0; i < m; ++i) {
-      const T vi = vcol(i, 0);
-      T* r = &rest(i, 0);
-      for (index_t j = 0; j < n; ++j) r[j] -= w[j] * vi;
+    auto run_cols = [&](index_t jlo, index_t jhi) {
+      const index_t jn = jhi - jlo;
+      for (index_t j = jlo; j < jhi; ++j) w[j] = top(0, j);
+      for (index_t i = 0; i < m; ++i) {
+        const T vi = vcol(i, 0);
+        const T* r = &rest(i, jlo);
+        T* wj = w + jlo;
+        for (index_t j = 0; j < jn; ++j) wj[j] += vi * r[j];
+      }
+      for (index_t j = jlo; j < jhi; ++j) {
+        w[j] *= tau;
+        top(0, j) -= w[j];
+      }
+      for (index_t i = 0; i < m; ++i) {
+        const T vi = vcol(i, 0);
+        T* r = &rest(i, jlo);
+        const T* wj = w + jlo;
+        for (index_t j = 0; j < jn; ++j) r[j] -= wj[j] * vi;
+      }
+    };
+    if (par) {
+      parallel::parallel_for(0, n, 64, run_cols);
+    } else {
+      run_cols(0, n);
     }
   } else if (rest.row_stride() == 1 && vcol.row_stride() == 1) {
     // Column-contiguous rest (the col-major panel case): per-column dot
     // (multi-accumulator, vectorizable) followed by a contiguous axpy.
     const T* v = &vcol(0, 0);
-    for (index_t j = 0; j < n; ++j) {
-      T* r = &rest(0, j);
-      T w = top(0, j) + blas::detail::fast_dot(m, v, r);
-      w *= tau;
-      top(0, j) -= w;
-      for (index_t i = 0; i < m; ++i) r[i] -= w * v[i];
+    auto run_cols = [&](index_t jlo, index_t jhi) {
+      for (index_t j = jlo; j < jhi; ++j) {
+        T* r = &rest(0, j);
+        T w = top(0, j) + blas::detail::fast_dot(m, v, r);
+        w *= tau;
+        top(0, j) -= w;
+        for (index_t i = 0; i < m; ++i) r[i] -= w * v[i];
+      }
+    };
+    if (par) {
+      parallel::parallel_for(0, n, 16, run_cols);
+    } else {
+      run_cols(0, n);
     }
   } else {
     // Fully generic fallback.

@@ -45,7 +45,10 @@ void geqrf_unblocked(MatView<T> a, T* tau) {
 /// Y is the unit-lower-trapezoid reflector storage of a factored panel
 /// (m x k) and t is its compact-WY factor (k x k upper triangular). The
 /// dominant work is two gemm calls over Y's rectangular part, which is what
-/// makes the whole QR run at matrix-multiply speed.
+/// makes the whole QR run at matrix-multiply speed. The gemms parallelize
+/// internally; the three triangular hand loops are column-independent, so
+/// for wide trailing matrices they fan out over column ranges of C (each
+/// column's accumulation order is untouched -- bitwise thread-invariant).
 template <class T>
 void apply_block_qt(MatView<const T> y, MatView<const T> t, MatView<T> c) {
   const index_t m = y.rows();
@@ -55,14 +58,47 @@ void apply_block_qt(MatView<const T> y, MatView<const T> t, MatView<T> c) {
   TUCKER_DCHECK(c.rows() == m, "apply_block_qt: row mismatch");
   auto c1 = c.block(0, 0, k, nc);
 
-  // W = Y1^T C1 + Y2^T C2 (Y1 unit lower triangular head).
   blas::Matrix<T> w(k, nc);
-  for (index_t i = 0; i < k; ++i)
-    for (index_t j = 0; j < nc; ++j) {
-      T s = c1(i, j);
-      for (index_t r = i + 1; r < k; ++r) s += y(r, i) * c1(r, j);
-      w(i, j) = s;
+  auto run_cols = [&](index_t jlo, index_t jhi) {
+    // W = Y1^T C1 + Y2^T C2 is assembled in two steps; this lambda handles
+    // the triangular Y1 part and the T^T / Y1 back-substitutions for its
+    // column range. The rectangular Y2 parts stay in the gemms below.
+    for (index_t i = 0; i < k; ++i)
+      for (index_t j = jlo; j < jhi; ++j) {
+        T s = c1(i, j);
+        for (index_t r = i + 1; r < k; ++r) s += y(r, i) * c1(r, j);
+        w(i, j) = s;
+      }
+  };
+  auto run_cols_tw = [&](index_t jlo, index_t jhi) {
+    // W <- T^T W (T upper triangular; in-place bottom-up accumulation).
+    for (index_t j = jlo; j < jhi; ++j) {
+      for (index_t i = k; i-- > 0;) {
+        T s = T(0);
+        for (index_t r = 0; r <= i; ++r) s += t(r, i) * w(r, j);
+        w(i, j) = s;
+      }
     }
+  };
+  auto run_cols_sub = [&](index_t jlo, index_t jhi) {
+    // C1 -= Y1 W (unit lower triangular Y1).
+    for (index_t i = k; i-- > 0;) {
+      for (index_t j = jlo; j < jhi; ++j) {
+        T s = w(i, j);
+        for (index_t r = 0; r < i; ++r) s += y(i, r) * w(r, j);
+        c1(i, j) -= s;
+      }
+    }
+  };
+
+  const bool par = parallel::this_thread_width() > 1 &&
+                   static_cast<double>(k) * k * nc >= 1e5;
+
+  if (par) {
+    parallel::parallel_for(0, nc, 32, run_cols);
+  } else {
+    run_cols(0, nc);
+  }
   tucker::add_flops(k * k * nc);
   if (m > k) {
     auto y2 = y.block(k, 0, m - k, k);
@@ -71,23 +107,17 @@ void apply_block_qt(MatView<const T> y, MatView<const T> t, MatView<T> c) {
                w.view());
   }
 
-  // W <- T^T W (T upper triangular; in-place bottom-up accumulation).
-  for (index_t j = 0; j < nc; ++j) {
-    for (index_t i = k; i-- > 0;) {
-      T s = T(0);
-      for (index_t r = 0; r <= i; ++r) s += t(r, i) * w(r, j);
-      w(i, j) = s;
-    }
+  if (par) {
+    parallel::parallel_for(0, nc, 32, run_cols_tw);
+  } else {
+    run_cols_tw(0, nc);
   }
   tucker::add_flops(k * k * nc);
 
-  // C -= Y W.
-  for (index_t i = k; i-- > 0;) {
-    for (index_t j = 0; j < nc; ++j) {
-      T s = w(i, j);
-      for (index_t r = 0; r < i; ++r) s += y(i, r) * w(r, j);
-      c1(i, j) -= s;
-    }
+  if (par) {
+    parallel::parallel_for(0, nc, 32, run_cols_sub);
+  } else {
+    run_cols_sub(0, nc);
   }
   tucker::add_flops(k * k * nc);
   if (m > k) {

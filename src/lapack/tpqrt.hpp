@@ -91,7 +91,10 @@ void tpqrt(MatView<T> r, MatView<T> b, std::vector<T>& tau,
 
     // Compact-WY T for the panel (larft with this storage scheme): since
     // V_j = [e_j; bp(:, j)], the cross products V_i^T V_j reduce to
-    // bp-column inner products.
+    // bp-column inner products. The j recursion is sequential, but the
+    // O(m) inner products for a given j are independent -- for the long
+    // unfolding blocks of the flat-tree TensorLQ they dominate, so they
+    // fan out over i (each dot is computed exactly as in the serial run).
     auto tm = tmat.view().block(0, 0, jb, jb);
     blas::fill(tm, T(0));
     {
@@ -99,14 +102,22 @@ void tpqrt(MatView<T> r, MatView<T> b, std::vector<T>& tau,
       for (index_t j = 0; j < jb; ++j) {
         const T tj = tau[static_cast<std::size_t>(j0 + j)];
         if (tj == T(0)) continue;
-        for (index_t i = 0; i < j; ++i) {
-          T zi = T(0);
-          if (bp.row_stride() == 1) {
-            zi = blas::detail::fast_dot(m, &bp(0, i), &bp(0, j));
-          } else {
-            for (index_t k = 0; k < m; ++k) zi += bp(k, i) * bp(k, j);
+        auto run_dots = [&](index_t ilo, index_t ihi) {
+          for (index_t i = ilo; i < ihi; ++i) {
+            T zi = T(0);
+            if (bp.row_stride() == 1) {
+              zi = blas::detail::fast_dot(m, &bp(0, i), &bp(0, j));
+            } else {
+              for (index_t k = 0; k < m; ++k) zi += bp(k, i) * bp(k, j);
+            }
+            z[static_cast<std::size_t>(i)] = zi;
           }
-          z[static_cast<std::size_t>(i)] = zi;
+        };
+        if (parallel::this_thread_width() > 1 &&
+            2.0 * static_cast<double>(m) * j >= 1e5) {
+          parallel::parallel_for(0, j, 4, run_dots);
+        } else {
+          run_dots(0, j);
         }
         tucker::add_flops(2 * m * j);
         for (index_t i = 0; i < j; ++i) {
@@ -128,16 +139,25 @@ void tpqrt(MatView<T> r, MatView<T> b, std::vector<T>& tau,
     blas::copy(MatView<const T>(rt), w.view());
     blas::gemm(T(1), MatView<const T>(bp.t()), MatView<const T>(bt), T(1),
                w.view());
-    for (index_t j = 0; j < nc; ++j) {
-      for (index_t i = jb; i-- > 0;) {
-        T s = T(0);
-        for (index_t k = 0; k <= i; ++k) s += tmat(k, i) * w(k, j);
-        w(i, j) = s;
+    // T^T W and the R-block subtraction are column-independent: fan out
+    // over columns of the trailing matrix (per-column order unchanged).
+    auto run_cols = [&](index_t jlo, index_t jhi) {
+      for (index_t j = jlo; j < jhi; ++j) {
+        for (index_t i = jb; i-- > 0;) {
+          T s = T(0);
+          for (index_t k = 0; k <= i; ++k) s += tmat(k, i) * w(k, j);
+          w(i, j) = s;
+        }
+        for (index_t i = 0; i < jb; ++i) rt(i, j) -= w(i, j);
       }
+    };
+    if (parallel::this_thread_width() > 1 &&
+        static_cast<double>(jb) * jb * nc >= 1e5) {
+      parallel::parallel_for(0, nc, 32, run_cols);
+    } else {
+      run_cols(0, nc);
     }
     tucker::add_flops(jb * jb * nc);
-    for (index_t i = 0; i < jb; ++i)
-      for (index_t j = 0; j < nc; ++j) rt(i, j) -= w(i, j);
     blas::gemm(T(-1), MatView<const T>(bp),
                MatView<const T>(w.view()), T(1), bt);
   }

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/flops.hpp"
+#include "common/thread_pool.hpp"
 #include "simmpi/world.hpp"
 
 namespace tucker::mpi {
@@ -50,10 +51,18 @@ RunStats Runtime::run(int nprocs, const std::function<void(Comm&)>& fn,
   std::vector<int> identity(static_cast<std::size_t>(nprocs));
   std::iota(identity.begin(), identity.end(), 0);
 
+  // Divide the kernel-thread budget across ranks so local kernels never
+  // oversubscribe: with P ranks on a W-wide pool each rank gets
+  // max(1, W/P) threads (serial whenever P >= W, the common simulation
+  // case). Worker-side flops are credited back to the rank thread by
+  // parallel_for, so st.flops still captures the rank's full compute.
+  const int rank_width = std::max(1, parallel::max_threads() / nprocs);
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {
-    threads.emplace_back([&world, &fn, &identity, r]() {
+    threads.emplace_back([&world, &fn, &identity, r, rank_width]() {
+      parallel::ThreadWidthCap cap(rank_width);
       RankState& st = world.state(r);
       // The CPU timer must be created/reset on the rank's own thread.
       st.cpu_timer.reset();

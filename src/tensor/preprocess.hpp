@@ -10,14 +10,30 @@
 // in-place centering/scaling with the transform recorded so it can be
 // undone after reconstruction.
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "tensor/tensor.hpp"
 
 namespace tucker::tensor {
+
+namespace detail {
+
+/// Block grain for the scan/scale fanouts: enough elements per chunk to
+/// amortize dispatch. A pure function of the block size -- never of the
+/// thread count -- so the chunk partition (and hence the combination order
+/// of the floating-point partial sums) is identical for every value of
+/// TUCKER_NUM_THREADS.
+inline blas::index_t preprocess_grain(blas::index_t block_elems) {
+  return std::max<blas::index_t>(
+      1, 65536 / std::max<blas::index_t>(1, block_elems));
+}
+
+}  // namespace detail
 
 /// Statistics of one mode-n slice (all entries with a fixed mode-n index).
 struct SliceStats {
@@ -37,18 +53,50 @@ std::vector<SliceStats> slice_statistics(const Tensor<T>& x, std::size_t n) {
   std::vector<double> sum(static_cast<std::size_t>(slices), 0);
   std::vector<double> sumsq(static_cast<std::size_t>(slices), 0);
 
+  // Chunked reduction over the unfolding blocks: each chunk accumulates
+  // its own per-slice partials (in serial block order within the chunk),
+  // then the partials are combined serially in chunk-index order. Chunk
+  // boundaries depend only on the tensor shape, so the summation tree --
+  // and therefore every floating-point bit of the result -- is the same
+  // for every thread count.
   const index_t nblocks = unfolding_num_blocks(x, n);
-  for (index_t j = 0; j < nblocks; ++j) {
-    auto blk = unfolding_block(x, n, j);
-    for (index_t i = 0; i < blk.rows(); ++i) {
+  const index_t block_elems = slices * prod_before(x.dims(), n);
+  const index_t grain = detail::preprocess_grain(block_elems);
+  const index_t nchunks = parallel::num_chunks(0, nblocks, grain);
+  std::vector<double> pmin(static_cast<std::size_t>(nchunks * slices),
+                           std::numeric_limits<double>::infinity());
+  std::vector<double> pmax(static_cast<std::size_t>(nchunks * slices),
+                           -std::numeric_limits<double>::infinity());
+  std::vector<double> psum(static_cast<std::size_t>(nchunks * slices), 0);
+  std::vector<double> psumsq(static_cast<std::size_t>(nchunks * slices), 0);
+  parallel::parallel_for_chunks(
+      0, nblocks, grain, [&](index_t chunk, index_t lo, index_t hi) {
+        double* cmin = pmin.data() + chunk * slices;
+        double* cmax = pmax.data() + chunk * slices;
+        double* csum = psum.data() + chunk * slices;
+        double* csq = psumsq.data() + chunk * slices;
+        for (index_t j = lo; j < hi; ++j) {
+          auto blk = unfolding_block(x, n, j);
+          for (index_t i = 0; i < blk.rows(); ++i) {
+            for (index_t c = 0; c < blk.cols(); ++c) {
+              const double v = static_cast<double>(blk(i, c));
+              cmin[i] = std::min(cmin[i], v);
+              cmax[i] = std::max(cmax[i], v);
+              csum[i] += v;
+              csq[i] += v * v;
+            }
+          }
+        }
+      });
+  for (index_t t = 0; t < nchunks; ++t) {
+    for (index_t i = 0; i < slices; ++i) {
       auto& st = stats[static_cast<std::size_t>(i)];
-      for (index_t c = 0; c < blk.cols(); ++c) {
-        const double v = static_cast<double>(blk(i, c));
-        st.min = std::min(st.min, v);
-        st.max = std::max(st.max, v);
-        sum[static_cast<std::size_t>(i)] += v;
-        sumsq[static_cast<std::size_t>(i)] += v * v;
-      }
+      st.min = std::min(st.min, pmin[static_cast<std::size_t>(t * slices + i)]);
+      st.max = std::max(st.max, pmax[static_cast<std::size_t>(t * slices + i)]);
+      sum[static_cast<std::size_t>(i)] +=
+          psum[static_cast<std::size_t>(t * slices + i)];
+      sumsq[static_cast<std::size_t>(i)] +=
+          psumsq[static_cast<std::size_t>(t * slices + i)];
     }
   }
   const double count =
@@ -117,16 +165,21 @@ SliceTransform normalize_slices(Tensor<T>& x, std::size_t n,
     }
   }
 
+  // Elementwise, disjoint per block: fanout is trivially bitwise-neutral.
   const index_t nblocks = unfolding_num_blocks(x, n);
-  for (index_t j = 0; j < nblocks; ++j) {
-    auto blk = unfolding_block(x, n, j);
-    for (index_t i = 0; i < blk.rows(); ++i) {
-      const T shift = static_cast<T>(tr.shift[static_cast<std::size_t>(i)]);
-      const T scale = static_cast<T>(tr.scale[static_cast<std::size_t>(i)]);
-      for (index_t c = 0; c < blk.cols(); ++c)
-        blk(i, c) = (blk(i, c) - shift) * scale;
+  const index_t grain =
+      detail::preprocess_grain(x.dim(n) * prod_before(x.dims(), n));
+  parallel::parallel_for(0, nblocks, grain, [&](index_t lo, index_t hi) {
+    for (index_t j = lo; j < hi; ++j) {
+      auto blk = unfolding_block(x, n, j);
+      for (index_t i = 0; i < blk.rows(); ++i) {
+        const T shift = static_cast<T>(tr.shift[static_cast<std::size_t>(i)]);
+        const T scale = static_cast<T>(tr.scale[static_cast<std::size_t>(i)]);
+        for (index_t c = 0; c < blk.cols(); ++c)
+          blk(i, c) = (blk(i, c) - shift) * scale;
+      }
     }
-  }
+  });
   return tr;
 }
 
@@ -138,16 +191,20 @@ void denormalize_slices(Tensor<T>& x, const SliceTransform& tr) {
   TUCKER_CHECK(static_cast<index_t>(tr.shift.size()) == x.dim(n),
                "denormalize_slices: transform size mismatch");
   const index_t nblocks = unfolding_num_blocks(x, n);
-  for (index_t j = 0; j < nblocks; ++j) {
-    auto blk = unfolding_block(x, n, j);
-    for (index_t i = 0; i < blk.rows(); ++i) {
-      const T shift = static_cast<T>(tr.shift[static_cast<std::size_t>(i)]);
-      const T inv =
-          static_cast<T>(1.0 / tr.scale[static_cast<std::size_t>(i)]);
-      for (index_t c = 0; c < blk.cols(); ++c)
-        blk(i, c) = blk(i, c) * inv + shift;
+  const index_t grain =
+      detail::preprocess_grain(x.dim(n) * prod_before(x.dims(), n));
+  parallel::parallel_for(0, nblocks, grain, [&](index_t lo, index_t hi) {
+    for (index_t j = lo; j < hi; ++j) {
+      auto blk = unfolding_block(x, n, j);
+      for (index_t i = 0; i < blk.rows(); ++i) {
+        const T shift = static_cast<T>(tr.shift[static_cast<std::size_t>(i)]);
+        const T inv =
+            static_cast<T>(1.0 / tr.scale[static_cast<std::size_t>(i)]);
+        for (index_t c = 0; c < blk.cols(); ++c)
+          blk(i, c) = blk(i, c) * inv + shift;
+      }
     }
-  }
+  });
 }
 
 }  // namespace tucker::tensor

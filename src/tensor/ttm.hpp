@@ -8,6 +8,7 @@
 // design as TuckerMPI's TTM kernel [6, Alg 3].
 
 #include "blas/gemm.hpp"
+#include "common/thread_pool.hpp"
 #include "tensor/tensor.hpp"
 
 namespace tucker::tensor {
@@ -31,11 +32,22 @@ Tensor<T> ttm(const Tensor<T>& x, std::size_t n, MatView<const T> u) {
     blas::gemm(T(1), MatView<const T>(xv.t()), MatView<const T>(u.t()), T(0),
                yv.t());
   } else {
+    // Each unfolding block is an independent gemm writing a disjoint slab
+    // of Y, so block-level fanout is bitwise-neutral. With fewer blocks
+    // than threads, loop serially and let each gemm parallelize internally
+    // instead (nested parallel_for from a worker would run serial).
     const index_t nblocks = unfolding_num_blocks(x, n);
-    for (index_t j = 0; j < nblocks; ++j) {
-      auto xb = unfolding_block(x, n, j);
-      auto yb = unfolding_block(y, n, j);
-      blas::gemm(T(1), u, xb, T(0), yb);
+    auto run_blocks = [&](index_t lo, index_t hi) {
+      for (index_t j = lo; j < hi; ++j) {
+        auto xb = unfolding_block(x, n, j);
+        auto yb = unfolding_block(y, n, j);
+        blas::gemm(T(1), u, xb, T(0), yb);
+      }
+    };
+    if (nblocks >= 2 * parallel::this_thread_width()) {
+      parallel::parallel_for(0, nblocks, 1, run_blocks);
+    } else {
+      run_blocks(0, nblocks);
     }
   }
   return y;

@@ -8,6 +8,7 @@
 //                               core::SvdMethod::kQr);
 //
 // Layer map (see README.md / DESIGN.md):
+//   parallel:: shared-memory thread pool under every kernel
 //   blas::    dense kernels over strided views
 //   la::      factorizations and dense eigen/SVD solvers
 //   mpi::     simulated MPI runtime (threads + virtual clocks)
@@ -25,6 +26,7 @@
 #include "common/flops.hpp"
 #include "common/precision.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "core/extensions.hpp"
 #include "core/par_extensions.hpp"

@@ -9,7 +9,12 @@
 // width. Running with --kernels-json[=PATH] skips the google-benchmark
 // harness and instead writes a machine-readable serial/threaded sweep to
 // BENCH_kernels.json (default PATH), which CI and later PRs use to track
-// the kernel-throughput trajectory.
+// the kernel-throughput trajectory. Each row carries both GFLOPS and the
+// minimum-traffic GB/s (roofline coordinates: compute-bound kernels should
+// sit near the flop peak, memory-bound ones near bandwidth).
+// --compare[=PATH] runs the same sweep and diffs it against the committed
+// JSON instead of overwriting it, printing per-row speedups -- the
+// regression check for kernel work.
 
 #include <benchmark/benchmark.h>
 
@@ -279,19 +284,24 @@ struct SweepRow {
   int threads;
   double seconds;
   double gflops;
+  /// Minimum-traffic bandwidth: bytes each operand must cross memory at
+  /// least once (A + B read, C read+write), over wall time. Together with
+  /// gflops this places the kernel on the roofline.
+  double gbytes_per_s;
   double speedup_vs_1t;
 };
 
 template <class T>
 void sweep_kernels(std::vector<SweepRow>& rows, const char* prec) {
   const int widths[] = {1, 2, 4};
-  // gemm: n x n x n.
-  {
-    const index_t n = 1024;
+  // gemm: n x n x n, sized from cache-resident to memory-spanning so the
+  // sweep brackets the roofline ridge.
+  for (const index_t n : {index_t{256}, index_t{512}, index_t{1024}}) {
     auto a = rand_mat<T>(n, n, 1);
     auto b = rand_mat<T>(n, n, 2);
     Matrix<T> c(n, n);
     const double flops = 2.0 * n * n * n;
+    const double bytes = sizeof(T) * (2.0 * n * n + 2.0 * n * n);
     double base = 0;
     for (int w : widths) {
       tucker::parallel::set_max_threads(w);
@@ -302,7 +312,8 @@ void sweep_kernels(std::vector<SweepRow>& rows, const char* prec) {
           },
           2);
       if (w == 1) base = s;
-      rows.push_back({"gemm", prec, n, w, s, flops / s * 1e-9, base / s});
+      rows.push_back({"gemm", prec, n, w, s, flops / s * 1e-9,
+                      bytes / s * 1e-9, base / s});
     }
   }
   // syrk: m x m Gram of an m x 2m unfolding.
@@ -311,6 +322,8 @@ void sweep_kernels(std::vector<SweepRow>& rows, const char* prec) {
     auto a = rand_mat<T>(m, n, 3);
     Matrix<T> g(m, m);
     const double flops = static_cast<double>(m) * (m + 1) * n;
+    const double bytes = sizeof(T) * (static_cast<double>(m) * n +
+                                      2.0 * static_cast<double>(m) * m);
     double base = 0;
     for (int w : widths) {
       tucker::parallel::set_max_threads(w);
@@ -321,36 +334,48 @@ void sweep_kernels(std::vector<SweepRow>& rows, const char* prec) {
           },
           2);
       if (w == 1) base = s;
-      rows.push_back({"syrk", prec, m, w, s, flops / s * 1e-9, base / s});
+      rows.push_back({"syrk", prec, m, w, s, flops / s * 1e-9,
+                      bytes / s * 1e-9, base / s});
     }
   }
-  // ttm: mode-1 product of a d^3 cube with a (d/2 x d) factor.
+  // ttm: mode-1 product of a d^3 cube with a (d/2 x d) factor, into a
+  // recycled output tensor (the sthosvd steady-state pattern).
   {
     const index_t d = 160;
     tucker::tensor::Tensor<T> x({d, d, d});
     tucker::Rng rng(4);
     for (index_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal<T>();
     auto u = rand_mat<T>(d / 2, d, 5);
+    tucker::tensor::Tensor<T> y;
     const double flops = 2.0 * (d / 2) * d * d * d;
+    const double bytes =
+        sizeof(T) * (static_cast<double>(d) * d * d +
+                     static_cast<double>(d / 2) * d * d +
+                     static_cast<double>(d / 2) * d);
     double base = 0;
     for (int w : widths) {
       tucker::parallel::set_max_threads(w);
       const double s = time_best(
           [&] {
-            auto y = tucker::tensor::ttm(x, 1, MatView<const T>(u.view()));
+            tucker::tensor::ttm_into(x, 1, MatView<const T>(u.view()), y);
             benchmark::DoNotOptimize(y.data());
           },
           2);
       if (w == 1) base = s;
-      rows.push_back({"ttm", prec, d, w, s, flops / s * 1e-9, base / s});
+      rows.push_back({"ttm", prec, d, w, s, flops / s * 1e-9,
+                      bytes / s * 1e-9, base / s});
     }
   }
 }
 
-int run_json_sweep(const std::string& path) {
-  std::vector<SweepRow> rows;
+void run_sweep(std::vector<SweepRow>& rows) {
   sweep_kernels<float>(rows, "float");
   sweep_kernels<double>(rows, "double");
+}
+
+int run_json_sweep(const std::string& path) {
+  std::vector<SweepRow> rows;
+  run_sweep(rows);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -363,14 +388,87 @@ int run_json_sweep(const std::string& path) {
     std::fprintf(f,
                  "    {\"kernel\": \"%s\", \"precision\": \"%s\", "
                  "\"size\": %lld, \"threads\": %d, \"seconds\": %.6f, "
-                 "\"gflops\": %.3f, \"speedup_vs_1t\": %.3f}%s\n",
+                 "\"gflops\": %.3f, \"gbytes_per_s\": %.3f, "
+                 "\"speedup_vs_1t\": %.3f}%s\n",
                  r.kernel, r.precision, static_cast<long long>(r.size),
-                 r.threads, r.seconds, r.gflops, r.speedup_vs_1t,
-                 i + 1 < rows.size() ? "," : "");
+                 r.threads, r.seconds, r.gflops, r.gbytes_per_s,
+                 r.speedup_vs_1t, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
+  return 0;
+}
+
+// ------------------------------------------------------------ compare mode
+
+struct BaselineRow {
+  char kernel[32];
+  char precision[16];
+  long long size;
+  int threads;
+  double gflops;
+};
+
+// Parses the rows of a BENCH_kernels.json written by run_json_sweep (one
+// object per line). Tolerates the pre-roofline schema (no gbytes_per_s).
+std::vector<BaselineRow> load_baseline(const std::string& path) {
+  std::vector<BaselineRow> rows;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return rows;
+  char line[512];
+  while (std::fgets(line, sizeof(line), f)) {
+    BaselineRow r{};
+    const char* k = std::strstr(line, "\"kernel\": \"");
+    const char* p = std::strstr(line, "\"precision\": \"");
+    const char* s = std::strstr(line, "\"size\": ");
+    const char* t = std::strstr(line, "\"threads\": ");
+    const char* g = std::strstr(line, "\"gflops\": ");
+    if (!k || !p || !s || !t || !g) continue;
+    if (std::sscanf(k, "\"kernel\": \"%31[^\"]", r.kernel) != 1) continue;
+    if (std::sscanf(p, "\"precision\": \"%15[^\"]", r.precision) != 1)
+      continue;
+    if (std::sscanf(s, "\"size\": %lld", &r.size) != 1) continue;
+    if (std::sscanf(t, "\"threads\": %d", &r.threads) != 1) continue;
+    if (std::sscanf(g, "\"gflops\": %lf", &r.gflops) != 1) continue;
+    rows.push_back(r);
+  }
+  std::fclose(f);
+  return rows;
+}
+
+int run_compare(const std::string& path) {
+  const auto base = load_baseline(path);
+  if (base.empty()) {
+    std::fprintf(stderr, "no baseline rows in %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<SweepRow> rows;
+  run_sweep(rows);
+  std::printf("%-6s %-7s %6s %3s | %9s %9s | %9s %7s\n", "kernel", "prec",
+              "size", "thr", "base GF", "new GF", "new GB/s", "ratio");
+  int matched = 0;
+  double worst = 1e300;
+  for (const auto& r : rows) {
+    const BaselineRow* b = nullptr;
+    for (const auto& cand : base)
+      if (std::strcmp(cand.kernel, r.kernel) == 0 &&
+          std::strcmp(cand.precision, r.precision) == 0 &&
+          cand.size == r.size && cand.threads == r.threads)
+        b = &cand;
+    if (!b) continue;
+    ++matched;
+    const double ratio = r.gflops / b->gflops;
+    worst = std::min(worst, ratio);
+    std::printf("%-6s %-7s %6lld %3d | %9.3f %9.3f | %9.3f %6.2fx\n",
+                r.kernel, r.precision, static_cast<long long>(r.size),
+                r.threads, b->gflops, r.gflops, r.gbytes_per_s, ratio);
+  }
+  if (matched == 0) {
+    std::fprintf(stderr, "no rows matched the baseline schema\n");
+    return 1;
+  }
+  std::printf("%d rows compared; worst ratio %.2fx\n", matched, worst);
   return 0;
 }
 
@@ -381,6 +479,10 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--kernels-json", 14) == 0) {
       const char* eq = std::strchr(argv[i], '=');
       return run_json_sweep(eq ? eq + 1 : "BENCH_kernels.json");
+    }
+    if (std::strncmp(argv[i], "--compare", 9) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return run_compare(eq ? eq + 1 : "BENCH_kernels.json");
     }
   }
   benchmark::Initialize(&argc, argv);

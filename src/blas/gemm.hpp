@@ -6,12 +6,21 @@
 // and both approaches share gemm inside the TTM truncation. Kernels take
 // stride-generic views; transposition is expressed with MatView::t().
 //
+// Both kernels run on the register-tiled micro-kernel of microkernel.hpp:
+// A and B are packed into contiguous MR-row / NR-column panels (alpha
+// folded into the A pack), and an MR x NR block of C is computed with
+// independent per-element accumulators, the NR axis vectorized. Packing
+// scratch comes from the per-thread Workspace arena, so steady-state calls
+// never touch the heap.
+//
 // Both kernels are multithreaded through tucker::parallel by partitioning
 // the *output*: gemm over row or column panels of C, syrk over balanced row
 // bands of the triangle. Partitions write disjoint elements and every
 // element keeps the serial k-accumulation order, so results are bitwise
-// identical for every thread count (see thread_pool.hpp). Small problems
-// take the original serial path untouched.
+// identical for every thread count (see thread_pool.hpp) and for every
+// cache-block size (blocking only changes when partial sums spill to
+// memory, which does not round). Small problems and exotic layouts take
+// scalar fallback paths.
 
 #include <algorithm>
 #include <cmath>
@@ -19,30 +28,19 @@
 
 #include "blas/blas1.hpp"
 #include "blas/matview.hpp"
+#include "blas/microkernel.hpp"
 #include "common/flops.hpp"
 #include "common/thread_pool.hpp"
+#include "common/tuning.hpp"
+#include "common/workspace.hpp"
 
 namespace tucker::blas {
 
-namespace detail {
-
-// Cache-blocking widths. jb keeps a C-row chunk plus a B-tile in L1;
-// kb bounds the working set of B rows reused across the i loop.
-inline constexpr index_t kGemmJB = 512;
-inline constexpr index_t kGemmKB = 64;
-
-// Minimum flop count before a kernel fans out to the pool: below this the
-// per-chunk dispatch overhead beats the parallel win.
-inline constexpr double kParFlopThreshold = 1e5;
-
-}  // namespace detail
-
 /// C = alpha * A * B + beta * C.
 /// Shapes: A is m x k, B is k x n, C is m x n. Any strides: a C stored
-/// column-major is handled by computing C^T = B^T A^T; a B without unit
-/// column stride is tile-packed into a contiguous scratch buffer (the same
-/// strategy BLAS implementations use), so every layout runs at the
-/// vectorized-kernel rate.
+/// column-major is handled by computing C^T = B^T A^T; A and B panels are
+/// packed into contiguous tiles whatever their strides, so every layout
+/// runs at the micro-kernel rate.
 template <class T>
 void gemm(T alpha, MatView<const T> a, MatView<const T> b, T beta,
           MatView<T> c) {
@@ -65,51 +63,53 @@ void gemm(T alpha, MatView<const T> a, MatView<const T> b, T beta,
     for (index_t i = 0; i < m; ++i)
       for (index_t j = 0; j < n; ++j) c(i, j) *= beta;
   }
-  if (alpha == T(0) || k == 0) return;
-
-  const bool pack_b = b.col_stride() != 1;
+  if (alpha == T(0) || k == 0 || m == 0 || n == 0) return;
 
   if (c.col_stride() == 1) {
-    // i-k-j order with contiguous inner axpy; blocked over j (keeps the C
-    // chunk resident) and k (bounds the B tile streamed per pass). The
-    // tile covers (ilo:ihi, jlo:jhi) of C; each parallel task runs it over
-    // its own panel with per-worker pack scratch. The k-accumulation order
-    // per element never depends on the panel bounds, so any partition of C
-    // yields bits identical to the serial run.
+    // GEBP structure: j panels (keep a C/B column block resident), k blocks
+    // (bound the packed tile depth), i blocks (keep the packed A panel in
+    // L2), then the register-tiled micro-kernel over NR x MR sub-tiles.
+    // Each parallel task runs the same code over its own panel with
+    // per-worker pack scratch from Workspace::local(). The k-accumulation
+    // order per element never depends on the panel bounds, so any partition
+    // of C yields bits identical to the serial run.
+    using detail::kMicroMR;
+    using detail::kMicroNR;
+    const index_t ldc = c.row_stride();
     auto run_panel = [&](index_t ilo, index_t ihi, index_t jlo, index_t jhi) {
-      static thread_local std::vector<T> btile;
-      if (pack_b)
-        btile.resize(
-            static_cast<std::size_t>(detail::kGemmKB * detail::kGemmJB));
-      for (index_t j0 = jlo; j0 < jhi; j0 += detail::kGemmJB) {
-        const index_t jn = std::min(detail::kGemmJB, jhi - j0);
-        for (index_t k0 = 0; k0 < k; k0 += detail::kGemmKB) {
-          const index_t kn = std::min(detail::kGemmKB, k - k0);
-          if (pack_b) {
-            // Read along B's contiguous direction (column-major B is the
-            // common case) so the pack streams memory instead of striding.
-            if (b.row_stride() == 1) {
-              for (index_t j = 0; j < jn; ++j) {
-                const T* src = &b(k0, j0 + j);
-                for (index_t kk = 0; kk < kn; ++kk)
-                  btile[static_cast<std::size_t>(kk * jn + j)] = src[kk];
+      if (ihi <= ilo || jhi <= jlo) return;
+      const index_t jb = std::min(tune::gemm_jb(), jhi - jlo);
+      const index_t kb = std::min(tune::gemm_kb(), k);
+      const index_t mc = std::min(tune::gemm_mc(), ihi - ilo);
+      Workspace& ws = Workspace::local();
+      auto scratch = ws.frame();
+      T* bpack = ws.get<T>(
+          static_cast<std::size_t>(detail::round_up(jb, kMicroNR) * kb));
+      T* apack = ws.get<T>(
+          static_cast<std::size_t>(detail::round_up(mc, kMicroMR) * kb));
+      const bool simd =
+          detail::kernel_variant() == detail::KernelVariant::kSimd;
+      for (index_t j0 = jlo; j0 < jhi; j0 += jb) {
+        const index_t jn = std::min(jb, jhi - j0);
+        for (index_t k0 = 0; k0 < k; k0 += kb) {
+          const index_t kn = std::min(kb, k - k0);
+          detail::pack_b(b, k0, kn, j0, jn, bpack);
+          for (index_t i0 = ilo; i0 < ihi; i0 += mc) {
+            const index_t ib = std::min(mc, ihi - i0);
+            detail::pack_a(a, i0, ib, k0, kn, alpha, apack);
+            for (index_t jt = 0; jt < jn; jt += kMicroNR) {
+              const index_t nr = std::min(kMicroNR, jn - jt);
+              const T* bp = bpack + jt * kn;
+              for (index_t it = 0; it < ib; it += kMicroMR) {
+                const index_t mr = std::min(kMicroMR, ib - it);
+                const T* ap = apack + it * kn;
+                T* cp = c.data() + (i0 + it) * ldc + (j0 + jt);
+                if (mr == kMicroMR && nr == kMicroNR) {
+                  detail::mk_tile(simd, kn, ap, bp, cp, ldc);
+                } else {
+                  detail::mk_tile_edge(simd, kn, ap, bp, cp, ldc, mr, nr);
+                }
               }
-            } else {
-              for (index_t kk = 0; kk < kn; ++kk)
-                for (index_t j = 0; j < jn; ++j)
-                  btile[static_cast<std::size_t>(kk * jn + j)] =
-                      b(k0 + kk, j0 + j);
-            }
-          }
-          for (index_t i = ilo; i < ihi; ++i) {
-            T* crow = &c(i, j0);
-            for (index_t kk = 0; kk < kn; ++kk) {
-              const T av = alpha * a(i, k0 + kk);
-              if (av == T(0)) continue;
-              const T* brow = pack_b
-                                  ? btile.data() + kk * jn
-                                  : &b(k0 + kk, j0);
-              for (index_t j = 0; j < jn; ++j) crow[j] += av * brow[j];
             }
           }
         }
@@ -118,7 +118,7 @@ void gemm(T alpha, MatView<const T> a, MatView<const T> b, T beta,
 
     const double work = 2.0 * static_cast<double>(m) * n * k;
     if (parallel::this_thread_width() > 1 &&
-        work >= detail::kParFlopThreshold) {
+        work >= tune::par_flop_threshold()) {
       // Split the larger C dimension; columns preferred (each panel packs
       // its own B tiles, so column panels never duplicate packing work).
       if (n >= m || n >= 256) {
@@ -145,9 +145,9 @@ void gemm(T alpha, MatView<const T> a, MatView<const T> b, T beta,
 }
 
 /// C = alpha * A * A^T + beta * C, with A m x n and C m x m.
-/// Computes the lower triangle by dot products over contiguous rows when A
-/// is row-major, then mirrors to the upper triangle (the Gram eigensolver
-/// wants the full symmetric matrix).
+/// Computes the lower triangle with the register-tiled micro-kernel (the
+/// "B" operand is A^T, packed from the same matrix), then mirrors to the
+/// upper triangle (the Gram eigensolver wants the full symmetric matrix).
 template <class T>
 void syrk(T alpha, MatView<const T> a, T beta, MatView<T> c) {
   const index_t m = a.rows(), n = a.cols();
@@ -165,15 +165,16 @@ void syrk(T alpha, MatView<const T> a, T beta, MatView<T> c) {
     return;
   }
 
-  // Rank-1 outer products, one column of A at a time: the inner loop is a
-  // contiguous axpy with no floating-point reduction, so it vectorizes
-  // under strict FP semantics (a dot-product formulation would serialize on
-  // the accumulator). Row-major input is transpose-packed in column tiles.
-  //
   // Parallel decomposition: row bands [rlo, rhi) of the lower triangle.
   // Band b of nb bands spans rows [m*sqrt(b/nb), m*sqrt((b+1)/nb)), which
   // equalizes triangle area per band. Each element keeps the serial
-  // k-accumulation order, so banding never changes the bits.
+  // k-accumulation order c += (alpha * a(i,k)) * a(j,k), so neither banding
+  // nor tiling ever changes the bits.
+  using detail::kMicroMR;
+  using detail::kMicroNR;
+  constexpr index_t kSyrkKB = 256;
+  const MatView<const T> at = a.t();
+  const index_t ldc = c.col_stride() == 1 ? c.row_stride() : 0;
   auto run_band = [&](index_t rlo, index_t rhi) {
     if (rhi <= rlo) return;
     if (c.col_stride() != 1) {
@@ -183,30 +184,48 @@ void syrk(T alpha, MatView<const T> a, T beta, MatView<T> c) {
           const T av = alpha * a(i, kk);
           for (index_t j = 0; j <= i; ++j) c(i, j) += av * a(j, kk);
         }
-    } else if (a.row_stride() == 1) {
-      for (index_t kk = 0; kk < n; ++kk) {
-        const T* col = &a(0, kk);
-        for (index_t i = rlo; i < rhi; ++i) {
-          const T av = alpha * col[i];
-          T* crow = &c(i, 0);
-          for (index_t j = 0; j <= i; ++j) crow[j] += av * col[j];
-        }
-      }
-    } else {
-      constexpr index_t kb = 256;
-      static thread_local std::vector<T> pack;
-      pack.resize(static_cast<std::size_t>(kb * m));
-      for (index_t k0 = 0; k0 < n; k0 += kb) {
-        const index_t kn = std::min(kb, n - k0);
-        for (index_t i = 0; i < m; ++i)
-          for (index_t kk = 0; kk < kn; ++kk)
-            pack[static_cast<std::size_t>(kk * m + i)] = a(i, k0 + kk);
-        for (index_t kk = 0; kk < kn; ++kk) {
-          const T* col = pack.data() + kk * m;
-          for (index_t i = rlo; i < rhi; ++i) {
-            const T av = alpha * col[i];
-            T* crow = &c(i, 0);
-            for (index_t j = 0; j <= i; ++j) crow[j] += av * col[j];
+      return;
+    }
+    const index_t band_h = rhi - rlo;
+    const index_t kb = std::min<index_t>(kSyrkKB, n);
+    Workspace& ws = Workspace::local();
+    auto scratch = ws.frame();
+    T* apack = ws.get<T>(
+        static_cast<std::size_t>(detail::round_up(band_h, kMicroMR) * kb));
+    T* rpack = ws.get<T>(
+        static_cast<std::size_t>(detail::round_up(rhi, kMicroNR) * kb));
+    const bool simd =
+        detail::kernel_variant() == detail::KernelVariant::kSimd;
+    for (index_t k0 = 0; k0 < n; k0 += kb) {
+      const index_t kn = std::min(kb, n - k0);
+      // Right operand: columns j in [0, rhi) of A^T, i.e. rows of A.
+      detail::pack_b(at, k0, kn, 0, rhi, rpack);
+      detail::pack_a(a, rlo, band_h, k0, kn, alpha, apack);
+      for (index_t it = 0; it < band_h; it += kMicroMR) {
+        const index_t i0 = rlo + it;
+        const index_t mr = std::min(kMicroMR, band_h - it);
+        const T* ap = apack + it * kn;
+        const index_t jmax = i0 + mr - 1;  // widest valid column in tile
+        for (index_t jt = 0; jt <= jmax; jt += kMicroNR) {
+          const T* bp = rpack + jt * kn;
+          T* cp = c.data() + i0 * ldc + jt;
+          if (mr == kMicroMR && jt + kMicroNR - 1 <= i0) {
+            detail::mk_tile(simd, kn, ap, bp, cp, ldc);
+          } else {
+            // Diagonal-crossing or edge tile: compute the full tile into a
+            // local buffer, store back only the lower-triangle entries.
+            T ctmp[kMicroMR * kMicroNR];
+            for (index_t r = 0; r < kMicroMR; ++r)
+              for (index_t j = 0; j < kMicroNR; ++j) {
+                const bool live = r < mr && jt + j <= i0 + r;
+                ctmp[r * kMicroNR + j] = live ? cp[r * ldc + j] : T(0);
+              }
+            detail::mk_tile(simd, kn, ap, bp, ctmp, kMicroNR);
+            for (index_t r = 0; r < mr; ++r) {
+              const index_t jn = std::min(kMicroNR, i0 + r - jt + 1);
+              for (index_t j = 0; j < jn; ++j)
+                cp[r * ldc + j] = ctmp[r * kMicroNR + j];
+            }
           }
         }
       }
@@ -215,7 +234,7 @@ void syrk(T alpha, MatView<const T> a, T beta, MatView<T> c) {
 
   const double work = static_cast<double>(m) * (m + 1) * n;
   if (parallel::this_thread_width() > 1 &&
-      work >= detail::kParFlopThreshold && m >= 4) {
+      work >= tune::par_flop_threshold() && m >= 4) {
     // Band count from problem size only (not thread count): ~32k triangle
     // elements per band, at most m bands.
     const index_t area = m * (m + 1) / 2;

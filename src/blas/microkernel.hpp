@@ -1,0 +1,234 @@
+#pragma once
+// Register-tiled level-3 micro-kernels and panel packing.
+//
+// The gemm/syrk drivers in gemm.hpp feed packed panels to a single
+// MR x NR micro-kernel: an MR x NR block of C is held in registers, the
+// k loop streams one MR-sliver of packed A and one NR-sliver of packed B
+// per step, and each C element accumulates with its own independent
+// accumulator in serial k order. The NR axis is the vector axis.
+//
+// Two implementations of the same arithmetic are always compiled:
+//  - mk_tile_simd: portable fixed-width SIMD via GNU vector extensions
+//    (GCC/Clang). Each accumulator row is one NR-wide vector; the
+//    per-element operation sequence is identical to the scalar kernel.
+//  - mk_tile_scalar: the scalar reference, plain nested loops.
+// The active default comes from the TUCKER_SIMD build option; tests flip
+// `kernel_variant()` at runtime to assert the two are bitwise identical
+// over shape/stride/special-value sweeps (kernel_equivalence_test.cpp).
+//
+// Why bitwise determinism survives vectorization: every C element keeps a
+// private accumulator, initialized from C and updated once per k step in
+// the serial k order, as `c += (alpha * a(i,k)) * b(k,j)` (alpha is folded
+// into the packed A panel, preserving the historical rounding grouping).
+// Lanes never exchange or reduce into each other, so vector width, tile
+// shape, cache-block sizes and thread partition all change *where* the
+// arithmetic runs, never *what* is accumulated into which element in which
+// order. The only remaining degree of freedom is FMA contraction, which the
+// compiler applies uniformly to both kernels in this translation unit at
+// fixed flags -- the equivalence tests pin that assumption.
+//
+// Packed layouts (zero-padded to full tiles):
+//  - A panel: ceil(ib/MR) sub-panels of kn*MR values, sub-panel p holding
+//    rows [p*MR, p*MR+MR) as [kk][r] (MR consecutive rows per k step),
+//    with alpha pre-multiplied.
+//  - B panel: ceil(jn/NR) sub-panels of kn*NR values, sub-panel q holding
+//    columns [q*NR, q*NR+NR) as [kk][j] (NR consecutive columns per k
+//    step).
+
+#include <algorithm>
+#include <cstddef>
+
+#include "blas/matview.hpp"
+
+#ifndef TUCKER_SIMD
+#define TUCKER_SIMD 1
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define TUCKER_HAVE_VEC_EXT 1
+#else
+#define TUCKER_HAVE_VEC_EXT 0
+#endif
+
+namespace tucker::blas::detail {
+
+/// Register tile shape. MR x NR accumulators fit comfortably in 16
+/// architectural vector registers at every vector width from SSE2 (NR=8
+/// doubles = 4 x 128-bit) to AVX-512 (1 x 512-bit), leaving room for the
+/// A broadcast and the B load.
+inline constexpr index_t kMicroMR = 4;
+inline constexpr index_t kMicroNR = 8;
+
+enum class KernelVariant { kSimd, kScalar };
+
+/// Active micro-kernel implementation. Defaults to the TUCKER_SIMD build
+/// option; tests swap it at runtime to compare variants within one binary.
+/// Not meant to be flipped while kernels are in flight.
+inline KernelVariant& kernel_variant() {
+  static KernelVariant v =
+      TUCKER_SIMD ? KernelVariant::kSimd : KernelVariant::kScalar;
+  return v;
+}
+
+inline index_t round_up(index_t v, index_t unit) {
+  return (v + unit - 1) / unit * unit;
+}
+
+/// Packs A(i0:i0+ib, k0:k0+kn) * alpha into MR-row sub-panels (layout
+/// above). Rows beyond ib are zero-padded so the micro-kernel never reads
+/// uninitialized lanes.
+template <class T>
+void pack_a(MatView<const T> a, index_t i0, index_t ib, index_t k0,
+            index_t kn, T alpha, T* ap) {
+  const index_t rs = a.row_stride(), cs = a.col_stride();
+  const T* base = a.data() + i0 * rs + k0 * cs;
+  for (index_t p = 0; p < ib; p += kMicroMR) {
+    const index_t mr = std::min(kMicroMR, ib - p);
+    T* dst = ap + p * kn;  // sub-panel stride: kn * kMicroMR
+    if (cs == 1) {
+      // Row-major A: each row is contiguous in k; write strided.
+      for (index_t r = 0; r < mr; ++r) {
+        const T* src = base + (p + r) * rs;
+        for (index_t kk = 0; kk < kn; ++kk)
+          dst[kk * kMicroMR + r] = alpha * src[kk];
+      }
+    } else {
+      for (index_t r = 0; r < mr; ++r) {
+        const T* src = base + (p + r) * rs;
+        for (index_t kk = 0; kk < kn; ++kk)
+          dst[kk * kMicroMR + r] = alpha * src[kk * cs];
+      }
+    }
+    if (mr < kMicroMR)
+      for (index_t kk = 0; kk < kn; ++kk)
+        for (index_t r = mr; r < kMicroMR; ++r) dst[kk * kMicroMR + r] = T(0);
+  }
+}
+
+/// Packs B(k0:k0+kn, j0:j0+jn) into NR-column sub-panels (layout above),
+/// zero-padding columns beyond jn. Reads along whichever of B's axes is
+/// contiguous so the pack streams memory.
+template <class T>
+void pack_b(MatView<const T> b, index_t k0, index_t kn, index_t j0,
+            index_t jn, T* bp) {
+  const index_t rs = b.row_stride(), cs = b.col_stride();
+  const T* base = b.data() + k0 * rs + j0 * cs;
+  for (index_t p = 0; p < jn; p += kMicroNR) {
+    const index_t nr = std::min(kMicroNR, jn - p);
+    T* dst = bp + p * kn;  // sub-panel stride: kn * kMicroNR
+    if (cs == 1) {
+      for (index_t kk = 0; kk < kn; ++kk) {
+        const T* src = base + kk * rs + p;
+        index_t j = 0;
+        for (; j < nr; ++j) dst[kk * kMicroNR + j] = src[j];
+        for (; j < kMicroNR; ++j) dst[kk * kMicroNR + j] = T(0);
+      }
+    } else if (rs == 1) {
+      // Column-major B: stream down each column.
+      for (index_t j = 0; j < nr; ++j) {
+        const T* src = base + (p + j) * cs;
+        for (index_t kk = 0; kk < kn; ++kk) dst[kk * kMicroNR + j] = src[kk];
+      }
+      for (index_t j = nr; j < kMicroNR; ++j)
+        for (index_t kk = 0; kk < kn; ++kk) dst[kk * kMicroNR + j] = T(0);
+    } else {
+      for (index_t j = 0; j < kMicroNR; ++j)
+        for (index_t kk = 0; kk < kn; ++kk)
+          dst[kk * kMicroNR + j] =
+              j < nr ? base[kk * rs + (p + j) * cs] : T(0);
+    }
+  }
+}
+
+/// Scalar reference micro-kernel: C(r, 0:NR) += sum_kk ap[kk*MR+r] *
+/// bp[kk*NR+0:NR], full MR x NR tile, ldc = row stride of C.
+template <class T>
+inline void mk_tile_scalar(index_t kn, const T* ap, const T* bp, T* c,
+                           index_t ldc) {
+  T acc[kMicroMR][kMicroNR];
+  for (index_t r = 0; r < kMicroMR; ++r)
+    for (index_t j = 0; j < kMicroNR; ++j) acc[r][j] = c[r * ldc + j];
+  for (index_t kk = 0; kk < kn; ++kk) {
+    const T* av = ap + kk * kMicroMR;
+    const T* bv = bp + kk * kMicroNR;
+    for (index_t r = 0; r < kMicroMR; ++r)
+      for (index_t j = 0; j < kMicroNR; ++j) acc[r][j] += av[r] * bv[j];
+  }
+  for (index_t r = 0; r < kMicroMR; ++r)
+    for (index_t j = 0; j < kMicroNR; ++j) c[r * ldc + j] = acc[r][j];
+}
+
+#if TUCKER_HAVE_VEC_EXT
+
+template <class T>
+struct MicroVec {
+  // Element-aligned (not vector-aligned) so loads/stores may hit any C row;
+  // may_alias because we access T arrays through it.
+  typedef T type __attribute__((vector_size(kMicroNR * sizeof(T)),
+                                aligned(alignof(T)), may_alias));
+};
+
+/// SIMD micro-kernel: one NR-wide vector accumulator per C row. Identical
+/// per-element arithmetic to mk_tile_scalar (see header comment).
+template <class T>
+inline void mk_tile_simd(index_t kn, const T* ap, const T* bp, T* c,
+                         index_t ldc) {
+  using vec = typename MicroVec<T>::type;
+  static_assert(kMicroMR == 4, "unrolled for MR = 4");
+  vec acc0 = *reinterpret_cast<const vec*>(c + 0 * ldc);
+  vec acc1 = *reinterpret_cast<const vec*>(c + 1 * ldc);
+  vec acc2 = *reinterpret_cast<const vec*>(c + 2 * ldc);
+  vec acc3 = *reinterpret_cast<const vec*>(c + 3 * ldc);
+  for (index_t kk = 0; kk < kn; ++kk) {
+    const T* av = ap + kk * kMicroMR;
+    const vec bv = *reinterpret_cast<const vec*>(bp + kk * kMicroNR);
+    acc0 += av[0] * bv;
+    acc1 += av[1] * bv;
+    acc2 += av[2] * bv;
+    acc3 += av[3] * bv;
+  }
+  *reinterpret_cast<vec*>(c + 0 * ldc) = acc0;
+  *reinterpret_cast<vec*>(c + 1 * ldc) = acc1;
+  *reinterpret_cast<vec*>(c + 2 * ldc) = acc2;
+  *reinterpret_cast<vec*>(c + 3 * ldc) = acc3;
+}
+
+#else  // !TUCKER_HAVE_VEC_EXT: the SIMD entry point degrades to scalar.
+
+template <class T>
+inline void mk_tile_simd(index_t kn, const T* ap, const T* bp, T* c,
+                         index_t ldc) {
+  mk_tile_scalar(kn, ap, bp, c, ldc);
+}
+
+#endif  // TUCKER_HAVE_VEC_EXT
+
+/// Dispatches one full MR x NR tile on the active variant.
+template <class T>
+inline void mk_tile(bool simd, index_t kn, const T* ap, const T* bp, T* c,
+                    index_t ldc) {
+  if (simd) {
+    mk_tile_simd(kn, ap, bp, c, ldc);
+  } else {
+    mk_tile_scalar(kn, ap, bp, c, ldc);
+  }
+}
+
+/// Edge tile (mr < MR and/or nr < NR): runs the full kernel into a local
+/// MR x NR buffer seeded from the live C entries, then stores back only the
+/// live region. Padded A rows / B columns are zero, so the live elements
+/// see exactly the same accumulation chain as in a full tile.
+template <class T>
+inline void mk_tile_edge(bool simd, index_t kn, const T* ap, const T* bp,
+                         T* c, index_t ldc, index_t mr, index_t nr) {
+  T ctmp[kMicroMR * kMicroNR];
+  for (index_t r = 0; r < kMicroMR; ++r)
+    for (index_t j = 0; j < kMicroNR; ++j)
+      ctmp[r * kMicroNR + j] =
+          (r < mr && j < nr) ? c[r * ldc + j] : T(0);
+  mk_tile(simd, kn, ap, bp, ctmp, kMicroNR);
+  for (index_t r = 0; r < mr; ++r)
+    for (index_t j = 0; j < nr; ++j) c[r * ldc + j] = ctmp[r * kMicroNR + j];
+}
+
+}  // namespace tucker::blas::detail

@@ -1,0 +1,75 @@
+#pragma once
+// Runtime-tunable kernel parameters.
+//
+// The cache-blocking widths of the level-3 kernels and the fan-out flop
+// threshold of the parallel layer used to be compile-time constants; tuning
+// sweeps (bench/fig2_tuning, ad-hoc roofline runs) had to recompile per
+// point. Each knob now reads an environment variable once on first use and
+// caches the value for the life of the process, so a sweep is just a loop
+// over `TUCKER_GEMM_JB=... ./bench`. None of these affect results: blocking
+// only changes when partial sums are spilled to memory, never the
+// per-element accumulation order, so every setting is bitwise-identical
+// (see DESIGN.md Sec 8).
+
+#include <cstddef>
+#include <cstdlib>
+
+namespace tucker::tune {
+
+using index_t = std::ptrdiff_t;
+
+namespace detail {
+
+inline index_t env_index(const char* name, index_t fallback, index_t lo,
+                         index_t hi) {
+  if (const char* s = std::getenv(name)) {
+    const long v = std::atol(s);
+    if (v >= lo && v <= hi) return static_cast<index_t>(v);
+  }
+  return fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  if (const char* s = std::getenv(name)) {
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end != s && v >= 0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace detail
+
+/// gemm j-blocking (TUCKER_GEMM_JB): width of the C/B column panel kept
+/// resident while streaming A.
+inline index_t gemm_jb() {
+  static const index_t v = detail::env_index("TUCKER_GEMM_JB", 512, 8, 1 << 20);
+  return v;
+}
+
+/// gemm k-blocking (TUCKER_GEMM_KB): depth of the packed A/B tiles; bounds
+/// the working set reused across the i loop. 256 doubles x (MR + NR) lanes
+/// stays comfortably inside L1 while amortizing the per-tile C load/store
+/// over a long fused k loop (a 64-deep k loop left ~30% on the table).
+inline index_t gemm_kb() {
+  static const index_t v =
+      detail::env_index("TUCKER_GEMM_KB", 256, 4, 1 << 20);
+  return v;
+}
+
+/// gemm i-blocking (TUCKER_GEMM_MC): rows of A packed per block; keeps the
+/// packed A panel (mc x kb) inside L2.
+inline index_t gemm_mc() {
+  static const index_t v = detail::env_index("TUCKER_GEMM_MC", 256, 8, 1 << 20);
+  return v;
+}
+
+/// Minimum flop count before a kernel fans out to the thread pool
+/// (TUCKER_PAR_FLOP_THRESHOLD): below it the per-chunk dispatch overhead
+/// beats the parallel win.
+inline double par_flop_threshold() {
+  static const double v = detail::env_double("TUCKER_PAR_FLOP_THRESHOLD", 1e5);
+  return v;
+}
+
+}  // namespace tucker::tune

@@ -1,0 +1,57 @@
+#include "common/workspace.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace tucker {
+
+namespace {
+
+// Smallest arena block: big enough that the tiny frames of the unblocked
+// QR path never trigger a second allocation.
+constexpr std::size_t kMinBlock = std::size_t{1} << 16;  // 64 KiB
+constexpr std::size_t kAlign = 64;
+
+}  // namespace
+
+Workspace& Workspace::local() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+void* Workspace::get_bytes(std::size_t bytes) {
+  if (bytes == 0) return nullptr;
+  for (;;) {
+    if (cur_block_ < blocks_.size()) {
+      Block& b = blocks_[cur_block_];
+      const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+      const std::uintptr_t p = (base + cur_off_ + kAlign - 1) & ~(kAlign - 1);
+      if (p + bytes <= base + b.size) {
+        cur_off_ = static_cast<std::size_t>(p + bytes - base);
+        return reinterpret_cast<void*>(p);
+      }
+      // This block is exhausted for the current frame; spill into the next
+      // (existing or new) one. The skipped tail stays reserved and becomes
+      // usable again once the frame rewinds.
+      ++cur_block_;
+      cur_off_ = 0;
+      continue;
+    }
+    const std::size_t prev = blocks_.empty() ? 0 : blocks_.back().size;
+    const std::size_t want =
+        std::max({bytes + kAlign, kMinBlock, 2 * prev});
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(want), want});
+    cur_block_ = blocks_.size() - 1;
+    cur_off_ = 0;
+  }
+}
+
+void Workspace::release() {
+  for (auto& [key, entry] : stash_) entry.destroy(entry.ptr);
+  stash_.clear();
+  blocks_.clear();
+  cur_block_ = 0;
+  cur_off_ = 0;
+}
+
+}  // namespace tucker

@@ -1,0 +1,134 @@
+#pragma once
+// tucker::Workspace -- grow-only scratch arena for the ST-HOSVD hot path.
+//
+// The truncation chain used to allocate a fresh Tensor per mode, a fresh
+// pack tile per gemm panel, and a fresh compact-WY block per QR panel. All
+// of that scratch now comes from a per-thread arena: a list of geometrically
+// growing blocks that are never freed while the workspace lives, handed out
+// by pointer bump with stack (frame) discipline. After a warm-up pass every
+// request is served from already-reserved memory, so steady-state kernels
+// perform zero heap allocations (tests/kernel_equivalence_test.cpp asserts
+// this with a counting allocator).
+//
+// Ownership rules (see DESIGN.md Sec 8):
+//  - `Workspace::local()` is thread-local. Pool worker threads each own one;
+//    scratch obtained on one thread is never released by another. A caller
+//    may hand memory from its own arena to worker lambdas (they only write
+//    through the pointer), but workers request their *own* scratch from
+//    their own `local()`.
+//  - `get<T>(n)` pointers are valid until the enclosing `Frame` is
+//    destroyed. Frames nest like stack frames; kernels that call other
+//    kernels simply open their own frame.
+//  - `stash<V>(key)` returns a persistent named object (constructed on first
+//    use, destroyed with the workspace) for state that must survive between
+//    calls, e.g. the ping-pong tensors of the sthosvd truncation chain.
+//    Slots are keyed by (name, type), so the same name used at two
+//    precisions yields two slots.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <typeindex>
+#include <utility>
+#include <vector>
+
+namespace tucker {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  ~Workspace() { release(); }
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// The calling thread's workspace (thread-local, lazily constructed).
+  static Workspace& local();
+
+  /// RAII allocation mark: on destruction every `get` made since
+  /// construction is released (the memory stays reserved for reuse).
+  class Frame {
+   public:
+    explicit Frame(Workspace& ws)
+        : ws_(&ws), block_(ws.cur_block_), off_(ws.cur_off_) {}
+    ~Frame() {
+      ws_->cur_block_ = block_;
+      ws_->cur_off_ = off_;
+    }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+   private:
+    Workspace* ws_;
+    std::size_t block_;
+    std::size_t off_;
+  };
+
+  Frame frame() { return Frame(*this); }
+
+  /// n elements of uninitialized scratch, 64-byte aligned, valid until the
+  /// innermost enclosing Frame closes. Returns nullptr for n == 0.
+  template <class T>
+  T* get(std::size_t n) {
+    return static_cast<T*>(get_bytes(n * sizeof(T)));
+  }
+
+  /// Persistent named object: default-constructed on first use, then the
+  /// same instance forever (until release()). Keyed by (key, typeid(V)).
+  template <class V>
+  V& stash(std::string_view key) {
+    const StashProbe probe{std::type_index(typeid(V)), key};
+    auto it = stash_.find(probe);
+    if (it == stash_.end()) {
+      it = stash_
+               .emplace(StashKey{probe.first, std::string(key)},
+                        Entry{new V(),
+                              [](void* p) { delete static_cast<V*>(p); }})
+               .first;
+    }
+    return *static_cast<V*>(it->second.ptr);
+  }
+
+  /// Total bytes reserved across all arena blocks.
+  std::size_t bytes_reserved() const {
+    std::size_t s = 0;
+    for (const auto& b : blocks_) s += b.size;
+    return s;
+  }
+
+  /// Frees all arena blocks and destroys every stashed object. Only valid
+  /// when no Frame is open; meant for tests and teardown.
+  void release();
+
+ private:
+  // Heterogeneous (type, name) key so one name can back several precisions;
+  // the probe form avoids building a std::string on the steady-state path.
+  using StashKey = std::pair<std::type_index, std::string>;
+  using StashProbe = std::pair<std::type_index, std::string_view>;
+  struct StashKeyLess {
+    using is_transparent = void;
+    template <class A, class B>
+    bool operator()(const A& a, const B& b) const {
+      if (a.first != b.first) return a.first < b.first;
+      return std::string_view(a.second) < std::string_view(b.second);
+    }
+  };
+  struct Entry {
+    void* ptr;
+    void (*destroy)(void*);
+  };
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size;
+  };
+
+  void* get_bytes(std::size_t bytes);
+
+  std::vector<Block> blocks_;
+  std::size_t cur_block_ = 0;  // block the next get bumps into
+  std::size_t cur_off_ = 0;    // byte offset within that block
+  std::map<StashKey, Entry, StashKeyLess> stash_;
+};
+
+}  // namespace tucker

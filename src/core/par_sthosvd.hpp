@@ -76,7 +76,14 @@ ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
                            : spec.epsilon * spec.epsilon * norm_sq /
                                  static_cast<double>(nmodes);
 
-  dist::DistTensor<T> y = x.clone();
+  // The truncation chain ping-pongs between two data-less clones: mode k
+  // reads the output of mode k-1, so each slot's local allocation is reused
+  // every other mode and the input is never copied.
+  dist::DistTensor<T> s0 = x.empty_clone();
+  dist::DistTensor<T> s1 = x.empty_clone();
+  dist::DistTensor<T>* slots[2] = {&s0, &s1};
+  const dist::DistTensor<T>* ycur = &x;
+  int slot = 0;
   std::vector<blas::Matrix<T>> factors(nmodes);
   std::vector<std::vector<T>> mode_sigmas(nmodes);
   std::vector<blas::index_t> ranks(nmodes, 0);
@@ -84,6 +91,7 @@ ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
   for (std::size_t pos = 0; pos < nmodes; ++pos) {
     const std::size_t n = order[pos];
     const std::string label = "mode" + std::to_string(n);
+    const dist::DistTensor<T>& y = *ycur;
     const index_t m = y.global_dim(n);
 
     // SVD of the unfolding: squared singular values + left vectors,
@@ -132,13 +140,18 @@ ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
     blas::copy(blas::MatView<const T>(u.view().block(0, 0, m, r)), un.view());
     {
       auto rg = world.region(label + "/TTM");
-      y = dist::par_ttm_truncate(y, n, blas::MatView<const T>(un.view()));
+      dist::par_ttm_truncate_into(y, n, blas::MatView<const T>(un.view()),
+                                  *slots[slot]);
       world.sync_cpu_clock();
     }
+    ycur = slots[slot];
+    slot ^= 1;
     factors[n] = std::move(un);
   }
 
-  return ParSthosvdResult<T>{std::move(factors), std::move(y),
+  dist::DistTensor<T> core =
+      ycur == &x ? x.clone() : std::move(*slots[slot ^ 1]);
+  return ParSthosvdResult<T>{std::move(factors), std::move(core),
                              std::move(mode_sigmas), std::move(ranks),
                              std::move(order), norm_sq};
 }

@@ -3,9 +3,11 @@
 // (Gram-SVD / QR-SVD), working precision (T), truncation (tolerance or
 // fixed ranks) and mode ordering.
 
+#include <array>
 #include <numeric>
 #include <vector>
 
+#include "common/workspace.hpp"
 #include "core/svd_engine.hpp"
 #include "core/truncation.hpp"
 #include "core/tucker_tensor.hpp"
@@ -84,10 +86,17 @@ SthosvdResult<T> sthosvd(const tensor::Tensor<T>& x,
           : spec.epsilon * spec.epsilon * out.norm_squared /
                 static_cast<double>(nmodes);
 
-  tensor::Tensor<T> y = x;
+  // The truncation chain ping-pongs between two stashed scratch tensors
+  // (mode k reads the output of mode k-1), so repeated sthosvd calls reuse
+  // the same two allocations and never copy the input tensor.
+  auto& pp = Workspace::local().stash<std::array<tensor::Tensor<T>, 2>>(
+      "core.sthosvd.pingpong");
+  const tensor::Tensor<T>* ycur = &x;
+  int slot = 0;
   out.tucker.factors.resize(nmodes);
   for (std::size_t pos = 0; pos < nmodes; ++pos) {
     const std::size_t n = order[pos];
+    const tensor::Tensor<T>& y = *ycur;
     ModeSvd<T> svd = mode_svd(y, n, method);
 
     std::vector<T>& sig = out.mode_sigmas[n];
@@ -107,11 +116,15 @@ SthosvdResult<T> sthosvd(const tensor::Tensor<T>& x,
     blas::Matrix<T> u(y.dim(n), r);
     blas::copy(blas::MatView<const T>(svd.u.view().block(0, 0, y.dim(n), r)),
                u.view());
-    // Truncate: Y <- Y x_n U^T.
-    y = tensor::ttm(y, n, blas::MatView<const T>(u.view().t()));
+    // Truncate: Y <- Y x_n U^T, into the other ping-pong slot.
+    tensor::ttm_into(y, n, blas::MatView<const T>(u.view().t()), pp[slot]);
+    ycur = &pp[static_cast<std::size_t>(slot)];
+    slot ^= 1;
     out.tucker.factors[n] = std::move(u);
   }
-  out.tucker.core = std::move(y);
+  // Copy (not move) the final slot so the stashed scratch stays warm for
+  // the next call.
+  out.tucker.core = *ycur;
   return out;
 }
 

@@ -68,6 +68,29 @@ class DistTensor {
     return out;
   }
 
+  /// Shares this tensor's grid and communicators but owns no data yet.
+  /// Pair with reshape_mode_of() to cycle TTM-truncation outputs through
+  /// the same allocation (the parallel ST-HOSVD ping-pong).
+  DistTensor empty_clone() const {
+    return DistTensor(*this, tensor::Tensor<T>{});
+  }
+
+  /// Re-dimensions in place to src's global dims with mode n replaced by
+  /// new_dim, reusing the local allocation when it has capacity (grow-only,
+  /// see Tensor::reshape). Local contents are unspecified afterwards. Must
+  /// share src's processor grid (e.g. created by empty_clone()).
+  void reshape_mode_of(const DistTensor& src, std::size_t n,
+                       index_t new_dim) {
+    TUCKER_CHECK(global_dims_.size() == src.global_dims_.size() ||
+                     global_dims_.empty(),
+                 "reshape_mode_of: order mismatch");
+    global_dims_ = src.global_dims_;
+    global_dims_[n] = new_dim;
+    Dims local(order());
+    for (std::size_t k = 0; k < order(); ++k) local[k] = mode_range(k).size();
+    local_.reshape(local);
+  }
+
   mpi::Comm& world() const { return *world_; }
   const ProcessorGrid& grid() const { return grid_; }
   const Dims& global_dims() const { return global_dims_; }

@@ -8,6 +8,7 @@
 
 #include "blas/blas1.hpp"
 #include "blas/matrix.hpp"
+#include "common/workspace.hpp"
 #include "dist/dist_tensor.hpp"
 #include "dist/redistribute.hpp"
 #include "lapack/qr.hpp"
@@ -161,23 +162,30 @@ blas::Matrix<T> par_tensor_lq(const DistTensor<T>& y, std::size_t n) {
   return l;
 }
 
-/// Distributed TTM truncation: Y = X x_n U^T where U (I_n x R) is
-/// replicated. Local partial products with the owned row slice of U, a
-/// fiber reduction, and extraction of the owned slice of the R rows keep
-/// the block distribution (same grid, mode-n dimension now R).
+/// Distributed TTM truncation into a caller-owned tensor: Y = X x_n U^T
+/// where U (I_n x R) is replicated. Local partial products with the owned
+/// row slice of U, a fiber reduction, and extraction of the owned slice of
+/// the R rows keep the block distribution (same grid, mode-n dimension now
+/// R). `out` must share x's grid (an empty_clone or a previous output) and
+/// is re-dimensioned in place, so cycling the same out through repeated
+/// truncations reuses its local allocation.
 template <class T>
-DistTensor<T> par_ttm_truncate(const DistTensor<T>& x, std::size_t n,
-                               blas::MatView<const T> u) {
+void par_ttm_truncate_into(const DistTensor<T>& x, std::size_t n,
+                           blas::MatView<const T> u, DistTensor<T>& out) {
   TUCKER_CHECK(u.rows() == x.global_dim(n), "par_ttm: U row mismatch");
+  TUCKER_CHECK(&x != &out, "par_ttm: x and out must be distinct");
   const index_t r = u.cols();
-  DistTensor<T> out = x.with_mode_dim(n, r);
+  out.reshape_mode_of(x, n, r);
 
   // Partial product with my row slice of U: tmp = X_loc x_n (U_rows)^T,
-  // giving all R rows of my column set.
+  // giving all R rows of my column set. The partial tensor and the pack
+  // buffers below are stashed per rank-thread so every truncation of the
+  // parallel ST-HOSVD sweep reuses them.
+  Workspace& ws = Workspace::local();
   const Range rows = x.mode_range(n);
   auto usub = u.block(rows.lo, 0, rows.size(), r);
-  tensor::Tensor<T> tmp =
-      tensor::ttm(x.local(), n, blas::MatView<const T>(usub.t()));
+  auto& tmp = ws.stash<tensor::Tensor<T>>("dist.par_ttm.partial");
+  tensor::ttm_into(x.local(), n, blas::MatView<const T>(usub.t()), tmp);
 
   const index_t pn = x.grid().dim(n);
   if (pn > 1 && tmp.size() > 0) {
@@ -188,8 +196,10 @@ DistTensor<T> par_ttm_truncate(const DistTensor<T>& x, std::size_t n,
     mpi::Comm& fiber = x.fiber_comm(n);
     const index_t before = tensor::prod_before(tmp.dims(), n);
     const index_t nblocks = tensor::unfolding_num_blocks(tmp, n);
-    std::vector<T> sendbuf(static_cast<std::size_t>(tmp.size()));
-    std::vector<std::int64_t> counts(static_cast<std::size_t>(pn));
+    auto& sendbuf = ws.stash<std::vector<T>>("dist.par_ttm.sendbuf");
+    sendbuf.resize(static_cast<std::size_t>(tmp.size()));
+    auto& counts = ws.stash<std::vector<std::int64_t>>("dist.par_ttm.counts");
+    counts.resize(static_cast<std::size_t>(pn));
     {
       std::int64_t off = 0;
       for (index_t q = 0; q < pn; ++q) {
@@ -204,7 +214,7 @@ DistTensor<T> par_ttm_truncate(const DistTensor<T>& x, std::size_t n,
       }
     }
     fiber.reduce_scatter(sendbuf.data(), out.local().data(), counts);
-    return out;
+    return;
   }
 
   // P_n == 1 (or empty): keep my block slice of the R rows directly.
@@ -218,6 +228,14 @@ DistTensor<T> par_ttm_truncate(const DistTensor<T>& x, std::size_t n,
                      src.block(orows.lo, 0, orows.size(), src.cols())),
                  dst);
   }
+}
+
+/// Value-returning convenience wrapper around par_ttm_truncate_into.
+template <class T>
+DistTensor<T> par_ttm_truncate(const DistTensor<T>& x, std::size_t n,
+                               blas::MatView<const T> u) {
+  DistTensor<T> out = x.empty_clone();
+  par_ttm_truncate_into(x, n, u, out);
   return out;
 }
 

@@ -16,6 +16,8 @@
 #include "blas/matview.hpp"
 #include "common/flops.hpp"
 #include "common/thread_pool.hpp"
+#include "common/tuning.hpp"
+#include "common/workspace.hpp"
 
 namespace tucker::la {
 
@@ -83,14 +85,15 @@ void apply_reflector(T tau, MatView<const T> vcol, MatView<T> top,
   // bitwise independent of the thread count. Reflector applications inside
   // small panels stay below the flop threshold and run serially.
   const bool par = parallel::this_thread_width() > 1 &&
-                   4.0 * static_cast<double>(m) * n >= 1e5;
+                   4.0 * static_cast<double>(m) * n >= tune::par_flop_threshold();
 
   if (rest.col_stride() == 1 && m > 0) {
     // Row-contiguous rest: accumulate w = top^T + rest^T v row by row,
-    // then update row by row. Needs an n-sized scratch vector.
-    static thread_local std::vector<T> scratch;
-    scratch.assign(static_cast<std::size_t>(n), T(0));
-    T* w = scratch.data();
+    // then update row by row. Needs an n-sized scratch vector (arena; each
+    // column range initializes its own slice inside run_cols).
+    Workspace& ws = Workspace::local();
+    auto scratch = ws.frame();
+    T* w = ws.get<T>(static_cast<std::size_t>(n));
     auto run_cols = [&](index_t jlo, index_t jhi) {
       const index_t jn = jhi - jlo;
       for (index_t j = jlo; j < jhi; ++j) w[j] = top(0, j);

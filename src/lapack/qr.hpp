@@ -14,6 +14,8 @@
 #include "blas/gemm.hpp"
 #include "blas/matrix.hpp"
 #include "blas/matview.hpp"
+#include "common/tuning.hpp"
+#include "common/workspace.hpp"
 #include "lapack/householder.hpp"
 
 namespace tucker::la {
@@ -58,7 +60,10 @@ void apply_block_qt(MatView<const T> y, MatView<const T> t, MatView<T> c) {
   TUCKER_DCHECK(c.rows() == m, "apply_block_qt: row mismatch");
   auto c1 = c.block(0, 0, k, nc);
 
-  blas::Matrix<T> w(k, nc);
+  Workspace& workspace = Workspace::local();
+  auto scratch = workspace.frame();
+  auto w = MatView<T>::row_major(
+      workspace.get<T>(static_cast<std::size_t>(k * nc)), k, nc);
   auto run_cols = [&](index_t jlo, index_t jhi) {
     // W = Y1^T C1 + Y2^T C2 is assembled in two steps; this lambda handles
     // the triangular Y1 part and the T^T / Y1 back-substitutions for its
@@ -92,7 +97,7 @@ void apply_block_qt(MatView<const T> y, MatView<const T> t, MatView<T> c) {
   };
 
   const bool par = parallel::this_thread_width() > 1 &&
-                   static_cast<double>(k) * k * nc >= 1e5;
+                   static_cast<double>(k) * k * nc >= tune::par_flop_threshold();
 
   if (par) {
     parallel::parallel_for(0, nc, 32, run_cols);
@@ -103,8 +108,7 @@ void apply_block_qt(MatView<const T> y, MatView<const T> t, MatView<T> c) {
   if (m > k) {
     auto y2 = y.block(k, 0, m - k, k);
     auto c2 = c.block(k, 0, m - k, nc);
-    blas::gemm(T(1), MatView<const T>(y2.t()), MatView<const T>(c2), T(1),
-               w.view());
+    blas::gemm(T(1), MatView<const T>(y2.t()), MatView<const T>(c2), T(1), w);
   }
 
   if (par) {
@@ -123,7 +127,7 @@ void apply_block_qt(MatView<const T> y, MatView<const T> t, MatView<T> c) {
   if (m > k) {
     auto y2 = y.block(k, 0, m - k, k);
     auto c2 = c.block(k, 0, m - k, nc);
-    blas::gemm(T(-1), y2, MatView<const T>(w.view()), T(1), c2);
+    blas::gemm(T(-1), y2, MatView<const T>(w), T(1), c2);
   }
 }
 
@@ -171,8 +175,12 @@ void geqr3(MatView<T> a, MatView<T> t, T* tau) {
   auto t2 = t.block(n1, n1, n2, n2);
   geqr3(a22, t2, tau + n1);
 
-  // Glue block: T12 = -T1 * (Y1[n1:, :]^T * Y2) * T2.
-  blas::Matrix<T> z(n1, n2);
+  // Glue block: T12 = -T1 * (Y1[n1:, :]^T * Y2) * T2. Scratch from the
+  // arena -- geqr3 recursions nest their frames like stack frames.
+  Workspace& workspace = Workspace::local();
+  auto scratch = workspace.frame();
+  auto z = MatView<T>::row_major(
+      workspace.get<T>(static_cast<std::size_t>(n1 * n2)), n1, n2);
   // Head rows of Y2 (unit lower triangle at a(n1+r, n1+j), r in [0, n2)).
   for (index_t i = 0; i < n1; ++i)
     for (index_t j = 0; j < n2; ++j) {
@@ -185,12 +193,12 @@ void geqr3(MatView<T> a, MatView<T> t, T* tau) {
     auto y1tail = a.block(n1 + n2, 0, m - n1 - n2, n1);
     auto y2tail = a.block(n1 + n2, n1, m - n1 - n2, n2);
     blas::gemm(T(1), MatView<const T>(y1tail.t()), MatView<const T>(y2tail),
-               T(1), z.view());
+               T(1), z);
   }
-  blas::Matrix<T> zt2(n1, n2);
-  blas::gemm(T(1), MatView<const T>(z.view()), MatView<const T>(t2), T(0),
-             zt2.view());
-  blas::gemm(T(-1), MatView<const T>(t1), MatView<const T>(zt2.view()), T(0),
+  auto zt2 = MatView<T>::row_major(
+      workspace.get<T>(static_cast<std::size_t>(n1 * n2)), n1, n2);
+  blas::gemm(T(1), MatView<const T>(z), MatView<const T>(t2), T(0), zt2);
+  blas::gemm(T(-1), MatView<const T>(t1), MatView<const T>(zt2), T(0),
              t.block(0, n1, n1, n2));
 }
 
@@ -213,12 +221,15 @@ void geqrf(MatView<T> a, std::vector<T>& tau) {
     return;
   }
 
-  blas::Matrix<T> tmat(nb, nb);
+  Workspace& workspace = Workspace::local();
+  auto scratch = workspace.frame();
+  auto tmat = MatView<T>::row_major(
+      workspace.get<T>(static_cast<std::size_t>(nb * nb)), nb, nb);
   for (index_t j0 = 0; j0 < k; j0 += nb) {
     const index_t jb = std::min(nb, k - j0);
     const index_t mm = m - j0;
     auto panel = a.block(j0, j0, mm, jb);
-    auto tview = tmat.view().block(0, 0, jb, jb);
+    auto tview = tmat.block(0, 0, jb, jb);
     blas::fill(tview, T(0));
     detail::geqr3(panel, tview, tau.data() + j0);
 

@@ -16,6 +16,8 @@
 #include "blas/gemm.hpp"
 #include "blas/matrix.hpp"
 #include "blas/matview.hpp"
+#include "common/tuning.hpp"
+#include "common/workspace.hpp"
 #include "lapack/householder.hpp"
 
 namespace tucker::la {
@@ -79,7 +81,12 @@ void tpqrt(MatView<T> r, MatView<T> b, std::vector<T>& tau,
     return;
   }
 
-  blas::Matrix<T> tmat(kPanel, kPanel);
+  Workspace& workspace = Workspace::local();
+  auto scratch = workspace.frame();
+  auto tmat = MatView<T>::row_major(
+      workspace.get<T>(static_cast<std::size_t>(kPanel * kPanel)), kPanel,
+      kPanel);
+  T* z = workspace.get<T>(static_cast<std::size_t>(kPanel));
   for (index_t j0 = 0; j0 < n; j0 += kPanel) {
     const index_t jb = std::min(kPanel, n - j0);
     auto rp = r.block(j0, j0, jb, jb);
@@ -95,39 +102,35 @@ void tpqrt(MatView<T> r, MatView<T> b, std::vector<T>& tau,
     // O(m) inner products for a given j are independent -- for the long
     // unfolding blocks of the flat-tree TensorLQ they dominate, so they
     // fan out over i (each dot is computed exactly as in the serial run).
-    auto tm = tmat.view().block(0, 0, jb, jb);
+    auto tm = tmat.block(0, 0, jb, jb);
     blas::fill(tm, T(0));
-    {
-      std::vector<T> z(static_cast<std::size_t>(jb));
-      for (index_t j = 0; j < jb; ++j) {
-        const T tj = tau[static_cast<std::size_t>(j0 + j)];
-        if (tj == T(0)) continue;
-        auto run_dots = [&](index_t ilo, index_t ihi) {
-          for (index_t i = ilo; i < ihi; ++i) {
-            T zi = T(0);
-            if (bp.row_stride() == 1) {
-              zi = blas::detail::fast_dot(m, &bp(0, i), &bp(0, j));
-            } else {
-              for (index_t k = 0; k < m; ++k) zi += bp(k, i) * bp(k, j);
-            }
-            z[static_cast<std::size_t>(i)] = zi;
+    for (index_t j = 0; j < jb; ++j) {
+      const T tj = tau[static_cast<std::size_t>(j0 + j)];
+      if (tj == T(0)) continue;
+      auto run_dots = [&](index_t ilo, index_t ihi) {
+        for (index_t i = ilo; i < ihi; ++i) {
+          T zi = T(0);
+          if (bp.row_stride() == 1) {
+            zi = blas::detail::fast_dot(m, &bp(0, i), &bp(0, j));
+          } else {
+            for (index_t k = 0; k < m; ++k) zi += bp(k, i) * bp(k, j);
           }
-        };
-        if (parallel::this_thread_width() > 1 &&
-            2.0 * static_cast<double>(m) * j >= 1e5) {
-          parallel::parallel_for(0, j, 4, run_dots);
-        } else {
-          run_dots(0, j);
+          z[i] = zi;
         }
-        tucker::add_flops(2 * m * j);
-        for (index_t i = 0; i < j; ++i) {
-          T s = T(0);
-          for (index_t k = i; k < j; ++k)
-            s += tmat(i, k) * z[static_cast<std::size_t>(k)];
-          tmat(i, j) = -tj * s;
-        }
-        tmat(j, j) = tj;
+      };
+      if (parallel::this_thread_width() > 1 &&
+          2.0 * static_cast<double>(m) * j >= tune::par_flop_threshold()) {
+        parallel::parallel_for(0, j, 4, run_dots);
+      } else {
+        run_dots(0, j);
       }
+      tucker::add_flops(2 * m * j);
+      for (index_t i = 0; i < j; ++i) {
+        T s = T(0);
+        for (index_t k = i; k < j; ++k) s += tmat(i, k) * z[k];
+        tmat(i, j) = -tj * s;
+      }
+      tmat(j, j) = tj;
     }
 
     // Apply (I - V T^T V^T) to the trailing [R_t; B_t]:
@@ -135,10 +138,11 @@ void tpqrt(MatView<T> r, MatView<T> b, std::vector<T>& tau,
     //   R_t(panel rows) -= W;  B_t -= B_panel W.
     auto rt = r.block(j0, j0 + jb, jb, nc);
     auto bt = b.block(0, j0 + jb, m, nc);
-    blas::Matrix<T> w(jb, nc);
-    blas::copy(MatView<const T>(rt), w.view());
-    blas::gemm(T(1), MatView<const T>(bp.t()), MatView<const T>(bt), T(1),
-               w.view());
+    auto inner = workspace.frame();
+    auto w = MatView<T>::row_major(
+        workspace.get<T>(static_cast<std::size_t>(jb * nc)), jb, nc);
+    blas::copy(MatView<const T>(rt), w);
+    blas::gemm(T(1), MatView<const T>(bp.t()), MatView<const T>(bt), T(1), w);
     // T^T W and the R-block subtraction are column-independent: fan out
     // over columns of the trailing matrix (per-column order unchanged).
     auto run_cols = [&](index_t jlo, index_t jhi) {
@@ -152,14 +156,13 @@ void tpqrt(MatView<T> r, MatView<T> b, std::vector<T>& tau,
       }
     };
     if (parallel::this_thread_width() > 1 &&
-        static_cast<double>(jb) * jb * nc >= 1e5) {
+        static_cast<double>(jb) * jb * nc >= tune::par_flop_threshold()) {
       parallel::parallel_for(0, nc, 32, run_cols);
     } else {
       run_cols(0, nc);
     }
     tucker::add_flops(jb * jb * nc);
-    blas::gemm(T(-1), MatView<const T>(bp),
-               MatView<const T>(w.view()), T(1), bt);
+    blas::gemm(T(-1), MatView<const T>(bp), MatView<const T>(w), T(1), bt);
   }
 }
 

@@ -53,6 +53,26 @@ class Tensor {
     for (index_t d : dims_) TUCKER_CHECK(d >= 0, "Tensor: negative dimension");
   }
 
+  /// Re-dimensions the tensor in place, reusing the existing allocation
+  /// whenever it has capacity (grow-only: capacity never shrinks). Contents
+  /// are unspecified afterwards. This is what lets the ST-HOSVD truncation
+  /// chain cycle two scratch tensors with zero steady-state heap traffic.
+  void reshape(const Dims& dims) {
+    for (index_t d : dims) TUCKER_CHECK(d >= 0, "Tensor: negative dimension");
+    dims_ = dims;
+    data_.resize(static_cast<std::size_t>(num_elements(dims_)));
+  }
+
+  /// reshape() to src's dims with mode n replaced by dn, without building a
+  /// temporary Dims vector -- the steady-state path of ttm_into stays free
+  /// of heap traffic (vector copy-assignment reuses this tensor's capacity).
+  void reshape_mode_of(const Tensor& src, std::size_t n, index_t dn) {
+    TUCKER_CHECK(dn >= 0, "Tensor: negative dimension");
+    dims_ = src.dims_;
+    dims_[n] = dn;
+    data_.resize(static_cast<std::size_t>(num_elements(dims_)));
+  }
+
   const Dims& dims() const { return dims_; }
   std::size_t order() const { return dims_.size(); }
   index_t dim(std::size_t n) const { return dims_[n]; }

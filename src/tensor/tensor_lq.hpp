@@ -20,6 +20,7 @@
 
 #include "blas/blas1.hpp"
 #include "blas/matrix.hpp"
+#include "common/workspace.hpp"
 #include "lapack/qr.hpp"
 #include "lapack/tpqrt.hpp"
 #include "tensor/tensor.hpp"
@@ -36,39 +37,49 @@ blas::Matrix<T> tensor_lq(const Tensor<T>& y, std::size_t n) {
   const index_t after = prod_after(y.dims(), n);
   const index_t total_cols = before * after;
   std::vector<T> tau;
+  // All working copies of the unfolding come from the arena; only the
+  // returned L factor owns heap memory.
+  Workspace& ws = Workspace::local();
+  auto arena = ws.frame();
 
   if (n == 0) {
     // Column-major unfolding: one driver call (the paper's gelq case).
-    blas::Matrix<T> work(m, total_cols);
-    blas::copy(unfolding_mode0(y), work.view());
-    la::gelqf(work.view(), tau);
-    return la::extract_l<T>(work.view());
+    auto work = MatView<T>::row_major(
+        ws.get<T>(static_cast<std::size_t>(m * total_cols)), m, total_cols);
+    blas::copy(unfolding_mode0(y), work);
+    la::gelqf(work, tau);
+    return la::extract_l<T>(work);
   }
   if (after == 1) {
     // Row-major unfolding (always true for the last mode): equivalent to a
     // QR of the transpose (the paper's geqr case); our gelqf on a row-major
     // view is exactly that computation.
-    blas::Matrix<T> work = blas::Matrix<T>::from(unfolding_block(y, n, 0));
-    la::gelqf(work.view(), tau);
-    return la::extract_l<T>(work.view());
+    auto work = MatView<T>::row_major(
+        ws.get<T>(static_cast<std::size_t>(m * before)), m, before);
+    blas::copy(unfolding_block(y, n, 0), work);
+    la::gelqf(work, tau);
+    return la::extract_l<T>(work);
   }
 
   // Flat-tree TSQR over the I_n^> row-major blocks. Merge enough leading
   // blocks that the first LQ produces a full triangle.
   const index_t merge =
       std::min(after, (m + before - 1) / before);  // ceil(m / before)
-  blas::Matrix<T> first(m, merge * before);
+  auto first = MatView<T>::row_major(
+      ws.get<T>(static_cast<std::size_t>(m * merge * before)), m,
+      merge * before);
   for (index_t b = 0; b < merge; ++b)
     blas::copy(unfolding_block(y, n, b),
-               first.view().block(0, b * before, m, before));
-  la::gelqf(first.view(), tau);
-  blas::Matrix<T> l = la::extract_l<T>(first.view());
+               first.block(0, b * before, m, before));
+  la::gelqf(first, tau);
+  blas::Matrix<T> l = la::extract_l<T>(first);
   if (l.cols() < m) return l;  // whole unfolding was tall: trapezoid, done
 
-  blas::Matrix<T> scratch(m, before);
+  auto scratch = MatView<T>::row_major(
+      ws.get<T>(static_cast<std::size_t>(m * before)), m, before);
   for (index_t j = merge; j < after; ++j) {
-    blas::copy(unfolding_block(y, n, j), scratch.view());
-    la::tplqt(l.view(), scratch.view(), tau, la::Pentagon::kFull);
+    blas::copy(unfolding_block(y, n, j), scratch);
+    la::tplqt(l.view(), scratch, tau, la::Pentagon::kFull);
   }
   return l;
 }

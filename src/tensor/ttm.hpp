@@ -13,16 +13,17 @@
 
 namespace tucker::tensor {
 
-/// Y = X x_n U where U is (R x I_n); Y has dims of X with mode n replaced
-/// by R. To truncate with a factor matrix F (I_n x R), pass F^T via a view.
+/// Y = X x_n U into a caller-owned tensor: y is re-dimensioned in place
+/// (grow-only, see Tensor::reshape), so cycling the same y through repeated
+/// calls does no heap allocation after warm-up. x and y must not alias.
 template <class T>
-Tensor<T> ttm(const Tensor<T>& x, std::size_t n, MatView<const T> u) {
+void ttm_into(const Tensor<T>& x, std::size_t n, MatView<const T> u,
+              Tensor<T>& y) {
   TUCKER_CHECK(n < x.order(), "ttm: mode out of range");
   TUCKER_CHECK(u.cols() == x.dim(n), "ttm: inner dimension mismatch");
-  Dims ydims = x.dims();
-  ydims[n] = u.rows();
-  Tensor<T> y(ydims);
-  if (y.size() == 0 || x.size() == 0) return y;
+  TUCKER_CHECK(&x != &y, "ttm_into: x and y must be distinct tensors");
+  y.reshape_mode_of(x, n, u.rows());
+  if (y.size() == 0 || x.size() == 0) return;
 
   if (n == 0) {
     // Column-major unfolding: compute Y_(0)^T = X_(0)^T * U^T so both gemm
@@ -44,12 +45,24 @@ Tensor<T> ttm(const Tensor<T>& x, std::size_t n, MatView<const T> u) {
         blas::gemm(T(1), u, xb, T(0), yb);
       }
     };
-    if (nblocks >= 2 * parallel::this_thread_width()) {
+    // The width > 1 test also keeps the serial path allocation-free:
+    // parallel_for takes std::function parameters whose construction may
+    // heap-allocate even when the loop then runs inline.
+    if (parallel::this_thread_width() > 1 &&
+        nblocks >= 2 * parallel::this_thread_width()) {
       parallel::parallel_for(0, nblocks, 1, run_blocks);
     } else {
       run_blocks(0, nblocks);
     }
   }
+}
+
+/// Y = X x_n U where U is (R x I_n); Y has dims of X with mode n replaced
+/// by R. To truncate with a factor matrix F (I_n x R), pass F^T via a view.
+template <class T>
+Tensor<T> ttm(const Tensor<T>& x, std::size_t n, MatView<const T> u) {
+  Tensor<T> y;
+  ttm_into(x, n, u, y);
   return y;
 }
 

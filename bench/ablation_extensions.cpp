@@ -31,16 +31,10 @@ void report_seq(const char* name, const tucker::tensor::Tensor<double>& xd,
   const auto flops = tucker::thread_flops();
   // Error against the double-precision original.
   auto xhat = res.tucker.reconstruct();
-  double diff = 0, ref = 0;
-  for (tucker::blas::index_t i = 0; i < xd.size(); ++i) {
-    const double d = xd.data()[i] - static_cast<double>(xhat.data()[i]);
-    diff += d * d;
-    ref += xd.data()[i] * xd.data()[i];
-  }
   std::printf("  %-22s time=%8.4fs  flops=%.3e  compression=%9.2e  "
               "error=%9.2e\n",
               name, secs, static_cast<double>(flops),
-              res.tucker.compression_ratio(), std::sqrt(diff / ref));
+              res.tucker.compression_ratio(), relative_error(xd, xhat));
 }
 
 }  // namespace
@@ -108,13 +102,7 @@ int main(int argc, char** argv) {
       if (world.rank() == 0) {
         compression = tk.compression_ratio();
         tucker::tensor::Tensor<double> xhat = tk.reconstruct();
-        double diff = 0, ref = 0;
-        for (index_t i = 0; i < x.size(); ++i) {
-          const double d = x.data()[i] - xhat.data()[i];
-          diff += d * d;
-          ref += x.data()[i] * x.data()[i];
-        }
-        error = std::sqrt(diff / ref);
+        error = relative_error(x, xhat);
       }
     });
     std::printf("  %-22s time=%8.4fs  flops=%.3e  compression=%9.2e  "

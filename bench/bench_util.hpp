@@ -70,6 +70,51 @@ inline const std::vector<Variant>& all_variants() {
   return v;
 }
 
+// ------------------------------------------------------------------ data
+
+/// Relative Frobenius error of an approximation held in working precision
+/// T against the double-precision original, accumulated in double -- the
+/// one reconstruct-and-compare loop every bench shares.
+template <class T>
+double relative_error(const tensor::Tensor<double>& ref,
+                      const tensor::Tensor<T>& approx) {
+  double diff = 0, den = 0;
+  for (index_t i = 0; i < ref.size(); ++i) {
+    const double d = ref.data()[i] - static_cast<double>(approx.data()[i]);
+    diff += d * d;
+    den += ref.data()[i] * ref.data()[i];
+  }
+  return den > 0 ? std::sqrt(diff / den) : 0.0;
+}
+
+/// The paper's dataset stand-ins by name ("hcci", "sp", "video"), at the
+/// given linear scale. Shared by the per-figure binaries so a dataset knob
+/// means the same thing in every bench.
+inline tensor::Tensor<double> dataset_by_name(const std::string& name,
+                                              double scale) {
+  if (name == "hcci") return data::hcci_like(scale);
+  if (name == "sp") return data::sp_like(scale);
+  if (name == "video") return data::video_like(scale);
+  std::fprintf(stderr, "unknown dataset '%s' (hcci|sp|video)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+/// Per-mode computed singular values of x under one engine/precision, run
+/// without compression (fixed ranks = full dims) -- the series Figs 5-7
+/// plot. Values normalized by the caller.
+template <class T>
+std::vector<std::vector<double>> spectra_for(const tensor::Tensor<double>& x,
+                                             SvdMethod method) {
+  auto xt = data::round_tensor_to<T>(x);
+  tensor::Dims full = xt.dims();
+  auto res = core::sthosvd(xt, TruncationSpec::fixed_ranks(full), method);
+  std::vector<std::vector<double>> out(res.mode_sigmas.size());
+  for (std::size_t n = 0; n < out.size(); ++n)
+    out[n].assign(res.mode_sigmas[n].begin(), res.mode_sigmas[n].end());
+  return out;
+}
+
 // --------------------------------------------------------------- results
 
 /// Aggregated outcome of one parallel ST-HOSVD run.
@@ -95,8 +140,11 @@ inline void aggregate_regions(const mpi::RankStats& slowest, CaseResult* r) {
   auto add = [&](const std::map<std::string, double>& m) {
     for (const auto& [k, v] : m) {
       r->regions[k] += v;
+      // "/Sketch" is the randomized engine's factorization phase -- it
+      // plays the role LQ/Gram play for the deterministic engines.
       if (k.find("/LQ") != std::string::npos ||
-          k.find("/Gram") != std::string::npos)
+          k.find("/Gram") != std::string::npos ||
+          k.find("/Sketch") != std::string::npos)
         r->lq_gram += v;
       else if (k.find("/SVD") != std::string::npos ||
                k.find("/EVD") != std::string::npos)
@@ -146,14 +194,7 @@ CaseResult run_case_typed(const tensor::Tensor<double>& input,
             result.compression = tk.compression_ratio();
             // Reconstruct in working precision, compare in double.
             tensor::Tensor<T> xhat = tk.reconstruct();
-            double diff = 0, ref = 0;
-            for (index_t i = 0; i < input.size(); ++i) {
-              const double d =
-                  input.data()[i] - static_cast<double>(xhat.data()[i]);
-              diff += d * d;
-              ref += input.data()[i] * input.data()[i];
-            }
-            result.error = std::sqrt(diff / ref);
+            result.error = relative_error(input, xhat);
           }
         } else if (world.rank() == 0) {
           // Compression from dimensions alone (no gather).

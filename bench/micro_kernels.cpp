@@ -21,12 +21,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "blas/gemm.hpp"
 #include "blas/matrix.hpp"
+#include "common/flops.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "data/synthetic_matrix.hpp"
@@ -35,6 +37,7 @@
 #include "lapack/qr.hpp"
 #include "lapack/svd.hpp"
 #include "lapack/tpqrt.hpp"
+#include "tensor/sketch.hpp"
 #include "tensor/ttm.hpp"
 
 namespace {
@@ -366,6 +369,35 @@ void sweep_kernels(std::vector<SweepRow>& rows, const char* prec) {
                       bytes / s * 1e-9, base / s});
     }
   }
+  // sketch: width-24 Gaussian sketch of the mode-1 unfolding of a d^3 cube
+  // (the randomized engine's factorization kernel; Omega is generated on
+  // the fly, so traffic is the tensor read plus the sketch write).
+  {
+    const index_t d = 160, wid = 24;
+    tucker::tensor::Tensor<T> x({d, d, d});
+    tucker::Rng rng(6);
+    for (index_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal<T>();
+    Matrix<T> s_out(d, wid);
+    const double flops = static_cast<double>(
+        tucker::flops::gaussian_sketch(d, static_cast<std::int64_t>(d) * d,
+                                       wid));
+    const double bytes = sizeof(T) * (static_cast<double>(d) * d * d +
+                                      static_cast<double>(d) * wid);
+    double base = 0;
+    for (int w : widths) {
+      tucker::parallel::set_max_threads(w);
+      const double s = time_best(
+          [&] {
+            tucker::tensor::sketch_unfolding_cols(x, 1, 0x5eedULL, 0, wid,
+                                                  s_out.view());
+            benchmark::DoNotOptimize(s_out.data());
+          },
+          2);
+      if (w == 1) base = s;
+      rows.push_back({"sketch", prec, d, w, s, flops / s * 1e-9,
+                      bytes / s * 1e-9, base / s});
+    }
+  }
 }
 
 void run_sweep(std::vector<SweepRow>& rows) {
@@ -437,7 +469,10 @@ std::vector<BaselineRow> load_baseline(const std::string& path) {
   return rows;
 }
 
-int run_compare(const std::string& path) {
+// fail_under <= 0 disables the gate; otherwise any matched row's
+// new/baseline GFLOPS ratio below it makes the run fail (exit 2) -- the CI
+// kernel-regression check.
+int run_compare(const std::string& path, double fail_under) {
   const auto base = load_baseline(path);
   if (base.empty()) {
     std::fprintf(stderr, "no baseline rows in %s\n", path.c_str());
@@ -469,12 +504,21 @@ int run_compare(const std::string& path) {
     return 1;
   }
   std::printf("%d rows compared; worst ratio %.2fx\n", matched, worst);
+  if (fail_under > 0 && worst < fail_under) {
+    std::fprintf(stderr, "worst ratio %.2fx below --fail-under=%.2f\n",
+                 worst, fail_under);
+    return 2;
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  double fail_under = 0;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--fail-under=", 13) == 0)
+      fail_under = std::atof(argv[i] + 13);
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--kernels-json", 14) == 0) {
       const char* eq = std::strchr(argv[i], '=');
@@ -482,7 +526,7 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--compare", 9) == 0) {
       const char* eq = std::strchr(argv[i], '=');
-      return run_compare(eq ? eq + 1 : "BENCH_kernels.json");
+      return run_compare(eq ? eq + 1 : "BENCH_kernels.json", fail_under);
     }
   }
   benchmark::Initialize(&argc, argv);

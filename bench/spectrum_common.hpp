@@ -17,18 +17,6 @@
 
 namespace tucker::bench {
 
-template <class T>
-std::vector<std::vector<double>> spectra_for(const tensor::Tensor<double>& x,
-                                             SvdMethod method) {
-  auto xt = data::round_tensor_to<T>(x);
-  tensor::Dims full = xt.dims();
-  auto res = core::sthosvd(xt, TruncationSpec::fixed_ranks(full), method);
-  std::vector<std::vector<double>> out(res.mode_sigmas.size());
-  for (std::size_t n = 0; n < out.size(); ++n)
-    out[n].assign(res.mode_sigmas[n].begin(), res.mode_sigmas[n].end());
-  return out;
-}
-
 inline void print_spectra(const char* figure, const char* dataset,
                           const tensor::Tensor<double>& x) {
   std::printf("%s: per-mode singular values of the %s-like dataset "

@@ -36,4 +36,42 @@ class FlopScope {
   std::int64_t start_;
 };
 
+/// Nominal flop counts of the SVD-engine kernels on an m x cols unfolding,
+/// mirroring the per-kernel add_flops credits exactly. These are what the
+/// benches print as the modeled cost and what tests assert the measured
+/// counters against; keeping them next to the counter API means a kernel
+/// change and its model change land in one place.
+namespace flops {
+
+/// gemm sketch S = X_(n) * Omega with a width-w test matrix.
+inline std::int64_t gaussian_sketch(std::int64_t m, std::int64_t cols,
+                                    std::int64_t w) {
+  return 2 * m * cols * w;
+}
+
+/// One power-iteration multiply X X^T W (two streamed gemms).
+inline std::int64_t power_iteration(std::int64_t m, std::int64_t cols,
+                                    std::int64_t w) {
+  return 4 * m * cols * w;
+}
+
+/// B = Q^T X_(n) followed by the w x w syrk of each panel
+/// (projected_gram): 2*m*cols*w for B plus w*(w+1)*cols for the Gram.
+inline std::int64_t projected_gram(std::int64_t m, std::int64_t cols,
+                                   std::int64_t w) {
+  return 2 * m * cols * w + w * (w + 1) * cols;
+}
+
+/// Dense QR-SVD of the unfolding (LQ of the m x cols short-fat matrix).
+inline std::int64_t qr_svd_unfolding(std::int64_t m, std::int64_t cols) {
+  return 2 * m * m * cols;
+}
+
+/// Gram matrix of the unfolding (syrk credit, triangle only).
+inline std::int64_t gram_unfolding(std::int64_t m, std::int64_t cols) {
+  return m * (m + 1) * cols;
+}
+
+}  // namespace flops
+
 }  // namespace tucker

@@ -53,6 +53,15 @@ inline std::uint64_t splitmix64(std::uint64_t x) {
 
 }  // namespace detail
 
+/// Derives an independent counter-based stream from (seed, tag): the salt
+/// that keeps one user seed from producing correlated test matrices across
+/// modes of the same tensor (tag = mode index for the randomized sketch).
+/// Pure function of its inputs, so every rank and thread derives the same
+/// stream without communication.
+inline std::uint64_t substream(std::uint64_t seed, std::uint64_t tag) {
+  return detail::splitmix64(seed ^ detail::splitmix64(tag + 0x9e3779b97f4a7c15ull));
+}
+
 /// Deterministic counter-based standard normal: maps (seed, i, j) to the
 /// same N(0,1) sample on every rank without any shared stream -- the device
 /// that lets distributed ranks generate consistent slices of one global

@@ -52,11 +52,13 @@ struct ParSthosvdResult {
   }
 };
 
-/// Collective over x.world(). `order` empty = forward.
+/// Collective over x.world(). `order` empty = forward. `ropt` configures
+/// the randomized engine (ignored by Gram/QR).
 template <class T>
 ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
                                 const TruncationSpec& spec, SvdMethod method,
-                                std::vector<std::size_t> order = {}) {
+                                std::vector<std::size_t> order = {},
+                                const RandSvdOptions& ropt = {}) {
   const std::size_t nmodes = x.order();
   mpi::Comm& world = x.world();
   if (order.empty()) order = forward_order(nmodes);
@@ -110,6 +112,15 @@ ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
       sigma_sq.reserve(eig.lambda.size());
       for (T lam : eig.lambda) sigma_sq.push_back(std::abs(lam));
       u = std::move(eig.v);
+    } else if (method == SvdMethod::kRand) {
+      // par_rand_svd opens its own label+"/Sketch" and label+"/SVD"
+      // regions (the adaptive loop interleaves the two phases).
+      auto basis = dist::par_rand_svd(
+          y, n, spec.is_fixed_rank() ? spec.ranks[n] : index_t{0},
+          threshold_sq, ropt.oversample, ropt.power_iters, ropt.seed,
+          ropt.rank_guess, label);
+      sigma_sq = std::move(basis.sigma_sq);
+      u = std::move(basis.u);
     } else {
       blas::Matrix<T> l(0, 0);
       {

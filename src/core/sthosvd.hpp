@@ -67,7 +67,8 @@ struct SthosvdResult {
 template <class T>
 SthosvdResult<T> sthosvd(const tensor::Tensor<T>& x,
                          const TruncationSpec& spec, SvdMethod method,
-                         std::vector<std::size_t> order = {}) {
+                         std::vector<std::size_t> order = {},
+                         const RandSvdOptions& ropt = {}) {
   const std::size_t nmodes = x.order();
   if (order.empty()) order = forward_order(nmodes);
   TUCKER_CHECK(order.size() == nmodes, "sthosvd: order must list every mode");
@@ -97,7 +98,11 @@ SthosvdResult<T> sthosvd(const tensor::Tensor<T>& x,
   for (std::size_t pos = 0; pos < nmodes; ++pos) {
     const std::size_t n = order[pos];
     const tensor::Tensor<T>& y = *ycur;
-    ModeSvd<T> svd = mode_svd(y, n, method);
+    // The randomized engine needs the truncation context (target rank or
+    // energy budget) to size its sketch; Gram/QR ignore both extras.
+    ModeSvd<T> svd = mode_svd(
+        y, n, method, spec.is_fixed_rank() ? spec.ranks[n] : index_t{0},
+        threshold_sq, ropt);
 
     std::vector<T>& sig = out.mode_sigmas[n];
     sig.resize(svd.sigma_sq.size());

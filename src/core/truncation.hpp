@@ -42,11 +42,19 @@ struct TruncationSpec {
 /// Smallest R (>= 1) such that the tail energy of sigma_sq (descending,
 /// squared singular values) beyond R is <= threshold_sq. Accumulates the
 /// tail from the smallest values up, in the order that adds the values most
-/// accurately.
+/// accurately. An empty spectrum selects R = 1 (the contract promises a
+/// positive rank even for degenerate inputs; callers clamp against the
+/// factor width separately).
+///
+/// The randomized engine appends one *residual* pseudo-entry (the energy
+/// outside the sketch basis, which has no matching singular vector) at the
+/// end of sigma_sq; the walk below then charges it to every candidate tail,
+/// which is exactly the discarded energy of a sketched truncation.
 template <class T>
 blas::index_t select_rank(const std::vector<T>& sigma_sq,
                           double threshold_sq) {
   const auto k = static_cast<blas::index_t>(sigma_sq.size());
+  if (k == 0) return 1;
   double tail = 0;
   blas::index_t r = k;
   // Walk from the smallest value: while adding sigma_{r-1}^2 keeps the tail

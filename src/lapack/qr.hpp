@@ -269,25 +269,38 @@ blas::Matrix<T> extract_l(MatView<const T> a) {
   return l;
 }
 
-/// Forms the leading ncols columns of Q (m x ncols, ncols <= m) from the
-/// reflectors produced by geqrf. Intended for tests and examples.
+/// Forms the leading q.cols() columns of Q (q must be m x ncols, ncols <= m)
+/// from the reflectors produced by geqrf, writing into caller-provided
+/// storage -- the allocation-free variant the randomized range finder uses
+/// on its Workspace-arena buffers. q is overwritten.
 template <class T>
-blas::Matrix<T> form_q(MatView<const T> a, const std::vector<T>& tau,
-                       index_t ncols) {
+void form_q_into(MatView<const T> a, const std::vector<T>& tau,
+                 MatView<T> q) {
   const index_t m = a.rows();
+  const index_t ncols = q.cols();
   const index_t k = static_cast<index_t>(tau.size());
-  TUCKER_CHECK(ncols <= m, "form_q: too many columns requested");
-  blas::Matrix<T> q(m, ncols);
+  TUCKER_CHECK(q.rows() == m && ncols <= m,
+               "form_q_into: Q must be m x ncols with ncols <= m");
+  blas::fill(q, T(0));
   for (index_t j = 0; j < std::min(m, ncols); ++j) q(j, j) = T(1);
   // Apply H_{k-1} ... H_0 to the identity (reverse order builds Q).
   for (index_t j = k - 1; j >= 0; --j) {
     const index_t tail = m - j - 1;
     auto vcol = a.block(j + 1, j, tail, 1);
-    auto top = q.view().block(j, 0, 1, ncols);
-    auto rest = q.view().block(j + 1, 0, tail, ncols);
+    auto top = q.block(j, 0, 1, ncols);
+    auto rest = q.block(j + 1, 0, tail, ncols);
     apply_reflector(tau[static_cast<std::size_t>(j)], MatView<const T>(vcol),
                     top, rest);
   }
+}
+
+/// Forms the leading ncols columns of Q (m x ncols, ncols <= m) from the
+/// reflectors produced by geqrf. Intended for tests and examples.
+template <class T>
+blas::Matrix<T> form_q(MatView<const T> a, const std::vector<T>& tau,
+                       index_t ncols) {
+  blas::Matrix<T> q(a.rows(), ncols);
+  form_q_into(a, tau, q.view());
   return q;
 }
 

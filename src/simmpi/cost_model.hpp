@@ -23,6 +23,41 @@ struct CostModel {
   double message_cost(std::int64_t bytes) const {
     return alpha + beta * static_cast<double>(bytes);
   }
+
+  /// Modeled cost of the runtime's allreduce (binomial reduce + binomial
+  /// broadcast, see Comm::allreduce_bytes): 2*ceil(log2 p) rounds, the full
+  /// buffer per round. Used by benches to print modeled communication
+  /// tables next to measured breakdowns.
+  double allreduce_cost(int p, std::int64_t bytes) const {
+    if (p <= 1) return 0;
+    int rounds = 0;
+    for (int m = 1; m < p; m <<= 1) ++rounds;
+    return 2.0 * rounds * message_cost(bytes);
+  }
+
+  /// Message rounds of the butterfly TSQR reduction over p ranks: log2 of
+  /// the power-of-two subset, plus the fold/unfold pair when p is not a
+  /// power of two (see dist::detail::butterfly_qr_reduce).
+  static int tsqr_rounds(int p) {
+    int pof2 = 1, rounds = 0;
+    while (pof2 * 2 <= p) {
+      pof2 *= 2;
+      ++rounds;
+    }
+    return rounds + (p > pof2 ? 2 : 0);
+  }
+
+  /// Words per TSQR message: one packed w x w triangle.
+  static std::int64_t tsqr_triangle_words(std::int64_t w) {
+    return w * (w + 1) / 2;
+  }
+
+  /// Words each rank contributes to the sketch's slice allreduce: its
+  /// m_loc-row slab of the w_new new sketch columns.
+  static std::int64_t sketch_slice_words(std::int64_t m_loc,
+                                         std::int64_t w_new) {
+    return m_loc * w_new;
+  }
 };
 
 }  // namespace tucker::mpi

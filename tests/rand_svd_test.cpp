@@ -1,0 +1,294 @@
+// Property tests for the randomized range-finder SVD engine (SvdMethod::
+// kRand): fixed-rank accuracy against the exact QR-SVD, tolerance mode
+// meeting its error budget through adaptive oversampling, bitwise
+// determinism across thread-pool widths and across simmpi grid shapes, the
+// incremental-extension property of the counter-based sketch, the flop
+// credit of the sketch kernel, and arena reuse. Also pins the select_rank
+// R >= 1 contract on empty input (regression) and the exhaustive
+// method_name switch.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/flops.hpp"
+#include "common/thread_pool.hpp"
+#include "common/workspace.hpp"
+#include "core/par_sthosvd.hpp"
+#include "core/sthosvd.hpp"
+#include "data/synthetic_tensor.hpp"
+#include "simmpi/runtime.hpp"
+#include "tensor/sketch.hpp"
+
+namespace {
+
+using tucker::blas::index_t;
+using tucker::blas::Matrix;
+using tucker::core::RandSvdOptions;
+using tucker::core::SvdMethod;
+using tucker::core::TruncationSpec;
+using tucker::dist::DistTensor;
+using tucker::dist::ProcessorGrid;
+using tucker::tensor::Dims;
+using tucker::tensor::Tensor;
+
+Tensor<double> test_cube(index_t n, std::uint64_t seed) {
+  return tucker::data::tensor_with_spectra(
+      {n, n, n},
+      {tucker::data::DecayProfile::geometric(1, 1e-9),
+       tucker::data::DecayProfile::geometric(1, 1e-9),
+       tucker::data::DecayProfile::geometric(1, 1e-9)},
+      seed);
+}
+
+template <class T>
+bool bitwise_equal(const tucker::core::ModeSvd<T>& a,
+                   const tucker::core::ModeSvd<T>& b) {
+  return a.sigma_sq.size() == b.sigma_sq.size() &&
+         std::memcmp(a.sigma_sq.data(), b.sigma_sq.data(),
+                     a.sigma_sq.size() * sizeof(T)) == 0 &&
+         a.u.rows() == b.u.rows() && a.u.cols() == b.u.cols() &&
+         std::memcmp(a.u.data(), b.u.data(),
+                     static_cast<std::size_t>(a.u.rows() * a.u.cols()) *
+                         sizeof(T)) == 0;
+}
+
+// ------------------------------------------------------------- satellites
+
+TEST(SelectRankTest, EmptySpectrumReturnsAtLeastOne) {
+  // Contract: select_rank never returns 0, even on an empty spectrum --
+  // a rank-0 mode would produce a degenerate core downstream.
+  EXPECT_EQ(tucker::core::select_rank(std::vector<double>{}, 1.0), 1);
+  EXPECT_EQ(tucker::core::select_rank(std::vector<double>{}, 0.0), 1);
+  // And a threshold larger than the whole energy still keeps one mode.
+  EXPECT_EQ(tucker::core::select_rank(std::vector<double>{1.0, 0.1}, 100.0),
+            1);
+}
+
+TEST(MethodNameTest, CoversAllEngines) {
+  EXPECT_EQ(tucker::core::method_name(SvdMethod::kGram), "Gram");
+  EXPECT_EQ(tucker::core::method_name(SvdMethod::kQr), "QR");
+  EXPECT_EQ(tucker::core::method_name(SvdMethod::kRand), "Rand");
+}
+
+// ------------------------------------------------------ fixed-rank accuracy
+
+template <class T>
+void expect_fixed_rank_matches_qr(double sigma_tol) {
+  auto xd = test_cube(24, 7);
+  auto x = tucker::data::round_tensor_to<T>(xd);
+  const index_t r = 6;
+  auto qr = tucker::core::qr_svd(x, 0);
+  RandSvdOptions opt;
+  opt.power_iters = 2;
+  auto rnd = tucker::core::rand_svd(x, 0, r, 0.0, opt);
+  ASSERT_GE(static_cast<index_t>(rnd.sigma_sq.size()), r);
+  ASSERT_EQ(rnd.u.rows(), x.dim(0));
+  ASSERT_GE(rnd.u.cols(), r);
+  for (index_t i = 0; i < r; ++i) {
+    const double exact = std::sqrt(static_cast<double>(qr.sigma_sq[i]));
+    const double got =
+        std::sqrt(std::max(0.0, static_cast<double>(rnd.sigma_sq[i])));
+    EXPECT_NEAR(got, exact, sigma_tol * exact) << "sigma " << i;
+  }
+  // The basis is orthonormal: ||U^T U - I||_max small.
+  for (index_t i = 0; i < r; ++i)
+    for (index_t j = 0; j <= i; ++j) {
+      double dot = 0;
+      for (index_t k = 0; k < rnd.u.rows(); ++k)
+        dot += static_cast<double>(rnd.u(k, i)) *
+               static_cast<double>(rnd.u(k, j));
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, sigma_tol);
+    }
+}
+
+TEST(RandSvdTest, FixedRankMatchesQrDouble) {
+  expect_fixed_rank_matches_qr<double>(1e-8);
+}
+
+TEST(RandSvdTest, FixedRankMatchesQrSingle) {
+  expect_fixed_rank_matches_qr<float>(1e-3);
+}
+
+// ------------------------------------------------------- tolerance contract
+
+TEST(RandSvdTest, ToleranceModeMeetsEps) {
+  auto x = test_cube(26, 11);
+  for (const double eps : {1e-2, 1e-4, 1e-6}) {
+    auto res =
+        tucker::core::sthosvd(x, TruncationSpec::tolerance(eps),
+                              SvdMethod::kRand);
+    const double err = tucker::core::relative_error(x, res.tucker);
+    EXPECT_LE(err, eps) << "eps " << eps;
+    // The engine's certificate (from the residual pseudo-sigma) is honest:
+    // it bounds the realized error up to rounding.
+    EXPECT_LE(err, res.estimated_relative_error() * 1.5 + 1e-12);
+  }
+}
+
+TEST(RandSvdTest, AdaptiveWideningReachesExactRanks) {
+  // Start the guess far below the needed rank so the tolerance loop must
+  // double the sketch width at least twice; it should still land on ranks
+  // no larger than a small oversample above the exact engine's.
+  auto x = test_cube(30, 13);
+  const double eps = 1e-7;
+  auto qr = tucker::core::sthosvd(x, TruncationSpec::tolerance(eps),
+                                  SvdMethod::kQr);
+  RandSvdOptions opt;
+  opt.rank_guess = 2;
+  opt.oversample = 2;
+  auto rnd = tucker::core::sthosvd(x, TruncationSpec::tolerance(eps),
+                                   SvdMethod::kRand, {}, opt);
+  ASSERT_EQ(rnd.ranks.size(), qr.ranks.size());
+  for (std::size_t n = 0; n < qr.ranks.size(); ++n) {
+    EXPECT_GE(rnd.ranks[n], qr.ranks[n] - 1) << "mode " << n;
+    EXPECT_LE(rnd.ranks[n], qr.ranks[n] + opt.oversample + 2) << "mode " << n;
+  }
+  EXPECT_LE(tucker::core::relative_error(x, rnd.tucker), eps);
+}
+
+// ----------------------------------------------------------- determinism
+
+TEST(RandSvdTest, BitwiseIdenticalAcrossThreadCounts) {
+  auto x = test_cube(20, 17);
+  tucker::parallel::set_max_threads(1);
+  auto ref = tucker::core::rand_svd(x, 0, 5, 0.0);
+  for (const int w : {2, 7}) {
+    tucker::parallel::set_max_threads(w);
+    auto got = tucker::core::rand_svd(x, 0, 5, 0.0);
+    EXPECT_TRUE(bitwise_equal(ref, got)) << "threads " << w;
+  }
+  tucker::parallel::set_max_threads(1);
+}
+
+TEST(RandSvdTest, SthosvdBitwiseAcrossThreadCounts) {
+  auto x = test_cube(18, 19);
+  const auto spec = TruncationSpec::tolerance(1e-5);
+  tucker::parallel::set_max_threads(1);
+  auto ref = tucker::core::sthosvd(x, spec, SvdMethod::kRand);
+  for (const int w : {2, 7}) {
+    tucker::parallel::set_max_threads(w);
+    auto got = tucker::core::sthosvd(x, spec, SvdMethod::kRand);
+    ASSERT_EQ(got.ranks, ref.ranks) << "threads " << w;
+    EXPECT_EQ(std::memcmp(got.tucker.core.data(), ref.tucker.core.data(),
+                          static_cast<std::size_t>(ref.tucker.core.size()) *
+                              sizeof(double)),
+              0)
+        << "threads " << w;
+  }
+  tucker::parallel::set_max_threads(1);
+}
+
+// -------------------------------------------------------------- simmpi
+
+TEST(ParRandSvdTest, GridsMatchSequentialRanksAndError) {
+  auto x = test_cube(16, 23);
+  const double eps = 1e-5;
+  auto seq = tucker::core::sthosvd(x, TruncationSpec::tolerance(eps),
+                                   SvdMethod::kRand);
+  for (const Dims& gdims :
+       {Dims{1, 1, 1}, Dims{2, 1, 1}, Dims{2, 2, 1}, Dims{1, 2, 2}}) {
+    const int p = ProcessorGrid(gdims).total();
+    tucker::mpi::Runtime::run(p, [&](tucker::mpi::Comm& world) {
+      DistTensor<double> dt(world, ProcessorGrid(gdims), x.dims());
+      dt.fill_from(x);
+      auto par = tucker::core::par_sthosvd(
+          dt, TruncationSpec::tolerance(eps), SvdMethod::kRand);
+      EXPECT_EQ(par.ranks, seq.ranks);
+      auto tk = par.gather_to_root();
+      if (world.rank() == 0) {
+        EXPECT_LE(tucker::core::relative_error(x, tk), eps);
+      }
+    });
+  }
+}
+
+TEST(ParRandSvdTest, RepeatRunsBitwiseIdenticalPerGrid) {
+  auto x = test_cube(14, 29);
+  const Dims gdims{2, 2, 1};
+  const int p = ProcessorGrid(gdims).total();
+  auto run_once = [&](std::vector<double>* core_out,
+                      std::vector<index_t>* ranks_out) {
+    tucker::mpi::Runtime::run(p, [&](tucker::mpi::Comm& world) {
+      DistTensor<double> dt(world, ProcessorGrid(gdims), x.dims());
+      dt.fill_from(x);
+      auto par = tucker::core::par_sthosvd(
+          dt, TruncationSpec::tolerance(1e-4), SvdMethod::kRand);
+      auto tk = par.gather_to_root();
+      if (world.rank() == 0) {
+        *ranks_out = par.ranks;
+        core_out->assign(tk.core.data(), tk.core.data() + tk.core.size());
+      }
+    });
+  };
+  std::vector<double> c1, c2;
+  std::vector<index_t> r1, r2;
+  run_once(&c1, &r1);
+  run_once(&c2, &r2);
+  EXPECT_EQ(r1, r2);
+  ASSERT_EQ(c1.size(), c2.size());
+  EXPECT_EQ(std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(double)),
+            0);
+}
+
+TEST(ParRandSvdTest, FixedRankHonoredOnGrid) {
+  auto x = test_cube(12, 31);
+  const Dims ranks{4, 3, 5};
+  tucker::mpi::Runtime::run(4, [&](tucker::mpi::Comm& world) {
+    DistTensor<double> dt(world, ProcessorGrid({2, 2, 1}), x.dims());
+    dt.fill_from(x);
+    auto par = tucker::core::par_sthosvd(
+        dt, TruncationSpec::fixed_ranks(ranks), SvdMethod::kRand);
+    ASSERT_EQ(par.ranks.size(), 3u);
+    for (std::size_t n = 0; n < 3; ++n)
+      EXPECT_EQ(par.ranks[n], ranks[n]) << "mode " << n;
+  });
+}
+
+// --------------------------------------------------- sketch kernel props
+
+TEST(SketchTest, IncrementalExtensionIsBitwiseConsistent) {
+  // Sketching [0, w) in one shot equals sketching [0, w/2) then appending
+  // [w/2, w): the property the adaptive-oversampling loop relies on.
+  auto x = test_cube(15, 37);
+  const index_t w = 12;
+  const std::uint64_t stream = 0xabcdULL;
+  for (std::size_t n = 0; n < 3; ++n) {
+    const index_t m = x.dim(n);
+    Matrix<double> one(m, w), two(m, w);
+    tucker::tensor::sketch_unfolding_cols(x, n, stream, 0, w, one.view());
+    tucker::tensor::sketch_unfolding_cols(x, n, stream, 0, w / 2,
+                                          two.view().block(0, 0, m, w / 2));
+    tucker::tensor::sketch_unfolding_cols(
+        x, n, stream, w / 2, w, two.view().block(0, w / 2, m, w - w / 2));
+    EXPECT_EQ(std::memcmp(one.data(), two.data(),
+                          static_cast<std::size_t>(m * w) * sizeof(double)),
+              0)
+        << "mode " << n;
+  }
+}
+
+TEST(SketchTest, FlopCreditMatchesModel) {
+  auto x = test_cube(10, 41);
+  const index_t m = x.dim(1), cols = x.size() / m, w = 7;
+  Matrix<double> s(m, w);
+  tucker::FlopScope scope;
+  tucker::tensor::sketch_unfolding_cols(x, 1, 1ULL, 0, w, s.view());
+  EXPECT_EQ(scope.flops(), tucker::flops::gaussian_sketch(m, cols, w));
+}
+
+TEST(RandSvdTest, ArenaReuseNoSteadyStateGrowth) {
+  auto x = test_cube(16, 43);
+  auto& ws = tucker::Workspace::local();
+  auto r0 = tucker::core::rand_svd(x, 0, 4, 0.0);
+  const std::size_t reserved = ws.bytes_reserved();
+  for (int i = 0; i < 3; ++i) {
+    auto r = tucker::core::rand_svd(x, 0, 4, 0.0);
+    EXPECT_TRUE(bitwise_equal(r0, r));
+  }
+  EXPECT_EQ(ws.bytes_reserved(), reserved);
+}
+
+}  // namespace

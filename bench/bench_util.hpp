@@ -128,6 +128,8 @@ struct CaseResult {
   std::int64_t total_flops = 0;
   std::int64_t total_bytes = 0;
   std::vector<index_t> ranks;
+  /// Mode processing order the run actually used (auto or explicit).
+  std::vector<std::size_t> order;
   std::vector<std::vector<double>> mode_sigmas;
   double compression = 0;
   double error = 0;  // vs the double-precision original
@@ -183,6 +185,7 @@ CaseResult run_case_typed(const tensor::Tensor<double>& input,
         auto res = core::par_sthosvd(dt, spec, method, order);
         if (world.rank() == 0) {
           result.ranks = res.ranks;
+          result.order = res.order;
           result.mode_sigmas.resize(res.mode_sigmas.size());
           for (std::size_t n = 0; n < res.mode_sigmas.size(); ++n)
             result.mode_sigmas[n].assign(res.mode_sigmas[n].begin(),
@@ -249,6 +252,41 @@ inline void print_breakdown_row(const char* label, const CaseResult& r) {
   std::printf("%-14s total=%9.4fs  LQ/Gram=%9.4fs  SVD/EVD=%9.4fs  "
               "TTM=%9.4fs  comm=%9.4fs\n",
               label, r.makespan, r.lq_gram, r.svd_evd, r.ttm, r.comm);
+}
+
+inline std::string order_to_string(const std::vector<std::size_t>& order) {
+  std::string s;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i) s += ">";
+    s += std::to_string(order[i]);
+  }
+  return s;
+}
+
+/// One "modeN[svd ...s ttm ...s]" entry per mode, in processing order, from
+/// the slowest rank's "modeN/<kernel>" region ledger (par_sthosvd tags every
+/// compute and comm charge this way; see simmpi/breakdown.hpp). "svd" rolls
+/// up the factorization regions (LQ/Gram/Sketch + SVD/EVD) so one column
+/// means the same thing across all four engines.
+inline std::string mode_breakdown_string(const CaseResult& r) {
+  std::string s;
+  for (std::size_t i = 0; i < r.order.size(); ++i) {
+    const std::string prefix = "mode" + std::to_string(r.order[i]) + "/";
+    double svd = 0, ttm = 0;
+    for (const auto& [label, sec] : r.regions) {
+      if (label.rfind(prefix, 0) != 0) continue;
+      const std::string suffix = label.substr(prefix.size());
+      if (suffix == "TTM")
+        ttm += sec;
+      else
+        svd += sec;  // LQ, Gram, Sketch, SVD, EVD
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%smode%zu[svd %.4fs ttm %.4fs]",
+                  i ? " " : "", r.order[i], svd, ttm);
+    s += buf;
+  }
+  return s;
 }
 
 }  // namespace tucker::bench

@@ -55,6 +55,9 @@ int main(int argc, char** argv) {
                   v.name, res.makespan, gflops_rank,
                   static_cast<double>(res.total_flops), res.lq_gram,
                   res.svd_evd, res.ttm, res.comm);
+      std::printf("  %-12s order %s  %s\n", "",
+                  order_to_string(res.order).c_str(),
+                  mode_breakdown_string(res).c_str());
     }
     print_rule();
   }

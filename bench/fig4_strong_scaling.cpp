@@ -57,9 +57,13 @@ int main(int argc, char** argv) {
   std::printf("%6s %14s %14s %14s %14s\n", "P", "QR_single(s)",
               "QR_double(s)", "Gram_single(s)", "Gram_double(s)");
   std::vector<double> base_times;
+  std::vector<CaseResult> last_results;  // largest P measured, per variant
+  int last_p = 0;
   for (const auto& row : table) {
     if (row.p > pmax) break;
     std::vector<double> times;
+    last_results.clear();
+    last_p = row.p;
     for (const auto& v : all_variants()) {
       const bool qr = v.method == SvdMethod::kQr;
       const auto order = qr ? tucker::core::backward_order(4)
@@ -67,6 +71,7 @@ int main(int argc, char** argv) {
       auto res = run_case(x, qr ? row.qr : row.gram, spec, v, order,
                           /*reference_error=*/false);
       times.push_back(res.makespan);
+      last_results.push_back(std::move(res));
     }
     if (base_times.empty()) base_times = times;
     std::printf("%6d %14.4f %14.4f %14.4f %14.4f   speedup vs P=1: "
@@ -75,6 +80,13 @@ int main(int argc, char** argv) {
                 base_times[0] / times[0], base_times[1] / times[1],
                 base_times[2] / times[2], base_times[3] / times[3]);
   }
+  print_rule();
+  std::printf("Per-mode breakdown at P=%d (slowest rank, processing order):\n",
+              last_p);
+  for (std::size_t i = 0; i < last_results.size(); ++i)
+    std::printf("  %-12s order %s  %s\n", all_variants()[i].name,
+                order_to_string(last_results[i].order).c_str(),
+                mode_breakdown_string(last_results[i]).c_str());
   print_rule();
   std::printf("paper expectation: all variants scale; QR single beats Gram "
               "double by ~30%%.\nOn this substrate QR single lands near Gram "

@@ -405,6 +405,85 @@ void run_sweep(std::vector<SweepRow>& rows) {
   sweep_kernels<double>(rows, "double");
 }
 
+// ------------------------------------------------- TTM engine sweep
+
+// Packed-vs-reference TTM rows on the truncation-dominant shapes (short-fat
+// U^T factors on an anisotropic tensor): one row per (mode, rank, engine,
+// thread width). `size` carries the rank; speedup_vs_ref is the
+// reference/packed time ratio (1.0 on reference rows). Written to
+// BENCH_ttm.json by --ttm-json and gated by --compare-ttm --fail-under.
+struct TtmRow {
+  std::string kernel;  // "ttm<mode>_packed" / "ttm<mode>_ref"
+  const char* precision;
+  index_t size;  // truncation rank
+  int threads;
+  double seconds;
+  double gflops;
+  double gbytes_per_s;
+  double speedup_vs_ref;
+};
+
+template <class T>
+void sweep_ttm(std::vector<TtmRow>& rows, const char* prec) {
+  using tucker::tensor::TtmEngine;
+  // Large enough that the tensor streams from DRAM (the regime the packed
+  // engine targets): 78 MB in double, 39 MB in float.
+  const tucker::tensor::Dims dims = {384, 160, 160};
+  tucker::tensor::Tensor<T> x(dims);
+  tucker::Rng rng(12);
+  for (index_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal<T>();
+  tucker::tensor::Tensor<T> y;
+  const double xsz = static_cast<double>(x.size());
+  for (std::size_t mode = 0; mode < dims.size(); ++mode) {
+    const double other = xsz / static_cast<double>(dims[mode]);
+    for (const index_t rank : {index_t{8}, index_t{32}}) {
+      // The ST-HOSVD truncation operand: U = F^T via a transposed view.
+      auto f = rand_mat<T>(dims[mode], rank, 13 + mode);
+      auto ut = MatView<const T>(f.view().t());
+      const double flops = 2.0 * rank * dims[mode] * other;
+      const double bytes =
+          sizeof(T) * (xsz + rank * other + rank * dims[mode]);
+      for (int w : {1, 2}) {
+        tucker::parallel::set_max_threads(w);
+        // Interleave the engines rep by rep so transient machine noise
+        // lands on both sides of the ratio equally, and keep the best rep
+        // of each.
+        auto time_once = [&](TtmEngine e) {
+          tucker::tensor::ttm_engine() = e;
+          const double s = time_best(
+              [&] {
+                tucker::tensor::ttm_into(x, mode, ut, y);
+                benchmark::DoNotOptimize(y.data());
+              },
+              1);
+          tucker::tensor::ttm_engine() = TtmEngine::kPacked;
+          return s;
+        };
+        double ref_s = 1e300, pk_s = 1e300;
+        for (int rep = 0; rep < 5; ++rep) {
+          ref_s = std::min(ref_s, time_once(TtmEngine::kReference));
+          pk_s = std::min(pk_s, time_once(TtmEngine::kPacked));
+        }
+        const std::string m = std::to_string(mode);
+        rows.push_back({"ttm" + m + "_ref", prec, rank, w, ref_s,
+                        flops / ref_s * 1e-9, bytes / ref_s * 1e-9, 1.0});
+        rows.push_back({"ttm" + m + "_packed", prec, rank, w, pk_s,
+                        flops / pk_s * 1e-9, bytes / pk_s * 1e-9,
+                        ref_s / pk_s});
+      }
+    }
+  }
+  tucker::parallel::set_max_threads(1);
+}
+
+void run_ttm_sweep(std::vector<TtmRow>& rows) {
+  sweep_ttm<float>(rows, "float");
+  sweep_ttm<double>(rows, "double");
+}
+
+// JSON writer and baseline gate live after the compare-mode section (they
+// reuse load_baseline / BaselineRow).
+
 int run_json_sweep(const std::string& path) {
   std::vector<SweepRow> rows;
   run_sweep(rows);
@@ -512,6 +591,76 @@ int run_compare(const std::string& path, double fail_under) {
   return 0;
 }
 
+int run_ttm_json(const std::string& path) {
+  std::vector<TtmRow> rows;
+  run_ttm_sweep(rows);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"max_threads_default\": %d,\n  \"results\": [\n",
+               tucker::parallel::max_threads());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"precision\": \"%s\", "
+                 "\"size\": %lld, \"threads\": %d, \"seconds\": %.6f, "
+                 "\"gflops\": %.3f, \"gbytes_per_s\": %.3f, "
+                 "\"speedup_vs_ref\": %.3f}%s\n",
+                 r.kernel.c_str(), r.precision,
+                 static_cast<long long>(r.size), r.threads, r.seconds,
+                 r.gflops, r.gbytes_per_s, r.speedup_vs_ref,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
+  return 0;
+}
+
+// Same gate semantics as run_compare, against a BENCH_ttm.json baseline
+// (load_baseline already tolerates the extra speedup_vs_ref field).
+int run_ttm_compare(const std::string& path, double fail_under) {
+  const auto base = load_baseline(path);
+  if (base.empty()) {
+    std::fprintf(stderr, "no baseline rows in %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<TtmRow> rows;
+  run_ttm_sweep(rows);
+  std::printf("%-12s %-7s %5s %3s | %9s %9s | %9s %7s\n", "kernel", "prec",
+              "rank", "thr", "base GF", "new GF", "new GB/s", "ratio");
+  int matched = 0;
+  double worst = 1e300;
+  for (const auto& r : rows) {
+    const BaselineRow* b = nullptr;
+    for (const auto& cand : base)
+      if (r.kernel == cand.kernel &&
+          std::strcmp(cand.precision, r.precision) == 0 &&
+          cand.size == r.size && cand.threads == r.threads)
+        b = &cand;
+    if (!b) continue;
+    ++matched;
+    const double ratio = r.gflops / b->gflops;
+    worst = std::min(worst, ratio);
+    std::printf("%-12s %-7s %5lld %3d | %9.3f %9.3f | %9.3f %6.2fx\n",
+                r.kernel.c_str(), r.precision, static_cast<long long>(r.size),
+                r.threads, b->gflops, r.gflops, r.gbytes_per_s, ratio);
+  }
+  if (matched == 0) {
+    std::fprintf(stderr, "no rows matched the baseline schema\n");
+    return 1;
+  }
+  std::printf("%d rows compared; worst ratio %.2fx\n", matched, worst);
+  if (fail_under > 0 && worst < fail_under) {
+    std::fprintf(stderr, "worst ratio %.2fx below --fail-under=%.2f\n", worst,
+                 fail_under);
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -523,6 +672,15 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--kernels-json", 14) == 0) {
       const char* eq = std::strchr(argv[i], '=');
       return run_json_sweep(eq ? eq + 1 : "BENCH_kernels.json");
+    }
+    if (std::strncmp(argv[i], "--ttm-json", 10) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return run_ttm_json(eq ? eq + 1 : "BENCH_ttm.json");
+    }
+    // Note: matched before the "--compare" prefix below.
+    if (std::strncmp(argv[i], "--compare-ttm", 13) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return run_ttm_compare(eq ? eq + 1 : "BENCH_ttm.json", fail_under);
     }
     if (std::strncmp(argv[i], "--compare", 9) == 0) {
       const char* eq = std::strchr(argv[i], '=');

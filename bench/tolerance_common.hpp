@@ -67,7 +67,7 @@ inline void run_tolerance_sweep(const char* figure, const char* dataset,
                   all_variants()[i].name, accurate ? "[ok]  " : "[FAIL]",
                   r.makespan, r.lq_gram, r.svd_evd, r.ttm, r.comm);
       for (auto rk : r.ranks) std::printf("%ld ", static_cast<long>(rk));
-      std::printf("\n");
+      std::printf(" order=%s\n", order_to_string(r.order).c_str());
     }
   }
   print_rule();

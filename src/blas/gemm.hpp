@@ -144,6 +144,70 @@ void gemm(T alpha, MatView<const T> a, MatView<const T> b, T beta,
   }
 }
 
+namespace detail {
+
+/// Elements a full-k prepacked A panel occupies for an m x k matrix
+/// (ceil(m/MR) sub-panels of k*MR values, see pack_a's layout).
+inline index_t prepacked_a_elems(index_t m, index_t k) {
+  return round_up(m, kMicroMR) * k;
+}
+
+/// C = A * B (beta = 0) where A (m x k) was prepacked over its *full* k
+/// range by `pack_a(a, 0, m, 0, k, alpha, apack)`. Because a sub-panel
+/// stores its MR rows k-contiguously, the tile for k block [k0, k0+kn)
+/// starts at `apack + it*k + k0*MR` -- the one-time pack supports every
+/// later k blocking, which is what lets the TTM engine pack the factor
+/// matrix once and reuse it across all unfolding blocks. Runs serially on
+/// the calling thread (callers partition blocks or columns); B-panel
+/// scratch comes from the caller's Workspace. C must be row-contiguous.
+///
+/// Bitwise contract: same jb/kb blocking, same packed values and the same
+/// mk_tile per-element ascending-k accumulation chain as `gemm` with
+/// beta = 0, so the result is bit-identical to the reference call.
+template <class T>
+void gemm_prepacked_a(const T* apack, index_t m, index_t k, MatView<const T> b,
+                      MatView<T> c) {
+  const index_t n = c.cols();
+  TUCKER_CHECK(c.rows() == m && b.rows() == k && b.cols() == n,
+               "gemm_prepacked_a: shape mismatch");
+  TUCKER_CHECK(c.col_stride() == 1, "gemm_prepacked_a: C must be row-major");
+  add_flops(2 * m * n * k);
+  fill(c, T(0));
+  if (m == 0 || n == 0 || k == 0) return;
+
+  const index_t ldc = c.row_stride();
+  const index_t jb = std::min(tune::gemm_jb(), n);
+  const index_t kb = std::min(tune::gemm_kb(), k);
+  Workspace& ws = Workspace::local();
+  auto scratch = ws.frame();
+  T* bpack =
+      ws.get<T>(static_cast<std::size_t>(round_up(jb, kMicroNR) * kb));
+  const bool simd = kernel_variant() == KernelVariant::kSimd;
+  for (index_t j0 = 0; j0 < n; j0 += jb) {
+    const index_t jn = std::min(jb, n - j0);
+    for (index_t k0 = 0; k0 < k; k0 += kb) {
+      const index_t kn = std::min(kb, k - k0);
+      pack_b(b, k0, kn, j0, jn, bpack);
+      for (index_t jt = 0; jt < jn; jt += kMicroNR) {
+        const index_t nr = std::min(kMicroNR, jn - jt);
+        const T* bp = bpack + jt * kn;
+        for (index_t it = 0; it < m; it += kMicroMR) {
+          const index_t mr = std::min(kMicroMR, m - it);
+          const T* ap = apack + it * k + k0 * kMicroMR;
+          T* cp = c.data() + it * ldc + (j0 + jt);
+          if (mr == kMicroMR && nr == kMicroNR) {
+            mk_tile(simd, kn, ap, bp, cp, ldc);
+          } else {
+            mk_tile_edge(simd, kn, ap, bp, cp, ldc, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
 /// C = alpha * A * A^T + beta * C, with A m x n and C m x m.
 /// Computes the lower triangle with the register-tiled micro-kernel (the
 /// "B" operand is A^T, packed from the same matrix), then mirrors to the

@@ -214,6 +214,361 @@ inline void mk_tile(bool simd, index_t kn, const T* ap, const T* bp, T* c,
   }
 }
 
+// ------------------------------------------------------ TTM kernels
+//
+// The ST-HOSVD truncation TTM multiplies every unfolding block by the same
+// short-fat factor U^T (R x I_n with R << I_n). At these shapes the packed
+// gemm above is bound by panel-packing traffic, not arithmetic: pack_b
+// copies each X block once per k-block before the micro-kernel reads the
+// copy, tripling the streamed bytes of a kernel whose arithmetic intensity
+// is only ~R/4 flops per byte. The two kernels below read X straight from
+// the unfolding (the caller chunks columns so any re-reads across register
+// row-groups stay cache-resident) and preserve the reference
+// accumulation chain: every output element starts from zero and accumulates
+// `c += a * b` once per k step in ascending k order, exactly as the packed
+// micro-kernel does, so the engines are bitwise-interchangeable. Both come
+// in the same scalar/SIMD pair as mk_tile and dispatch on kernel_variant().
+
+/// Largest factor-row count R routed to the packing-free TTM kernels; above
+/// it the output slab no longer stays cache-resident and the packed gemm
+/// path wins. Also bounds the mode-0 kernel's stack accumulator.
+inline constexpr index_t kTtmAxpyMaxR = 64;
+
+/// Packing-free TTM kernel for modes n > 0. Computes columns [j0, j1) of
+/// C = A * B from scratch, with A (m x k) contiguous row-major (the staged
+/// factor, cache-resident), B (k x n) row-major with leading dimension ldb
+/// (the streamed unfolding block) and C row-major with leading dimension
+/// ldc. The scalar variant zero-fills its C range and accumulates row
+/// updates; its per-element chain -- start from zero, one `c += a * b` per
+/// k step in ascending k order -- is exactly the chain of the register-tile
+/// SIMD variant and of the packed gemm, so all three are interchangeable
+/// bit for bit.
+template <class T>
+inline void ttm_cols_scalar(index_t m, index_t k, const T* a, const T* b,
+                            index_t ldb, T* c, index_t ldc, index_t j0,
+                            index_t j1) {
+  for (index_t r = 0; r < m; ++r)
+    for (index_t j = j0; j < j1; ++j) c[r * ldc + j] = T(0);
+  for (index_t kk = 0; kk < k; ++kk) {
+    const T* bv = b + kk * ldb;
+    for (index_t r = 0; r < m; ++r) {
+      const T av = a[r * k + kk];
+      T* cv = c + r * ldc;
+      for (index_t j = j0; j < j1; ++j) cv[j] += av * bv[j];
+    }
+  }
+}
+
+#if TUCKER_HAVE_VEC_EXT
+
+/// SIMD variant of ttm_cols_scalar: C-stationary register tiles. Each
+/// MR x NR tile of C lives in registers across the whole k sweep (one
+/// B vector load and MR broadcasts per step), so -- unlike a row-update
+/// formulation, whose accumulators round-trip through cache every k step --
+/// the kernel is bound by the B stream. A is read directly from the staged
+/// factor (rows are k apart; no panel pack), B directly from the unfolding
+/// block. Row/column remainders run the same ascending-k chains with fewer
+/// accumulators.
+template <class T>
+inline void ttm_cols_simd(index_t m, index_t k, const T* a, const T* b,
+                          index_t ldb, T* c, index_t ldc, index_t j0,
+                          index_t j1) {
+  using vec = typename MicroVec<T>::type;
+  const index_t jv = j0 + (j1 - j0) / kMicroNR * kMicroNR;
+  static_assert(kMicroMR == 4, "unrolled for MR = 4");
+  index_t i = 0;
+  for (; i + kMicroMR <= m; i += kMicroMR) {
+    const T* a0 = a + (i + 0) * k;
+    const T* a1 = a + (i + 1) * k;
+    const T* a2 = a + (i + 2) * k;
+    const T* a3 = a + (i + 3) * k;
+    T* c0 = c + (i + 0) * ldc;
+    T* c1 = c + (i + 1) * ldc;
+    T* c2 = c + (i + 2) * ldc;
+    T* c3 = c + (i + 3) * ldc;
+    index_t j = j0;
+    for (; j < jv; j += kMicroNR) {
+      vec s0{}, s1{}, s2{}, s3{};
+      const T* bj = b + j;
+      for (index_t kk = 0; kk < k; ++kk) {
+        // The B walk is strided by ldb, which outruns hardware stride
+        // prefetchers at large leading dimensions; prefetch a few rows
+        // ahead (pure hint, no effect on values).
+        __builtin_prefetch(bj + (kk + 8) * ldb);
+        const vec bv = *reinterpret_cast<const vec*>(bj + kk * ldb);
+        s0 += a0[kk] * bv;
+        s1 += a1[kk] * bv;
+        s2 += a2[kk] * bv;
+        s3 += a3[kk] * bv;
+      }
+      *reinterpret_cast<vec*>(c0 + j) = s0;
+      *reinterpret_cast<vec*>(c1 + j) = s1;
+      *reinterpret_cast<vec*>(c2 + j) = s2;
+      *reinterpret_cast<vec*>(c3 + j) = s3;
+    }
+    for (; j < j1; ++j) {
+      T s0{}, s1{}, s2{}, s3{};
+      for (index_t kk = 0; kk < k; ++kk) {
+        const T bv = b[kk * ldb + j];
+        s0 += a0[kk] * bv;
+        s1 += a1[kk] * bv;
+        s2 += a2[kk] * bv;
+        s3 += a3[kk] * bv;
+      }
+      c0[j] = s0;
+      c1[j] = s1;
+      c2[j] = s2;
+      c3[j] = s3;
+    }
+  }
+  for (; i < m; ++i) {
+    const T* ai = a + i * k;
+    T* ci = c + i * ldc;
+    index_t j = j0;
+    for (; j < jv; j += kMicroNR) {
+      vec s{};
+      const T* bj = b + j;
+      for (index_t kk = 0; kk < k; ++kk) {
+        __builtin_prefetch(bj + (kk + 8) * ldb);
+        s += ai[kk] * *reinterpret_cast<const vec*>(bj + kk * ldb);
+      }
+      *reinterpret_cast<vec*>(ci + j) = s;
+    }
+    for (; j < j1; ++j) {
+      T s{};
+      for (index_t kk = 0; kk < k; ++kk) s += ai[kk] * b[kk * ldb + j];
+      ci[j] = s;
+    }
+  }
+}
+
+#else
+
+template <class T>
+inline void ttm_cols_simd(index_t m, index_t k, const T* a, const T* b,
+                          index_t ldb, T* c, index_t ldc, index_t j0,
+                          index_t j1) {
+  ttm_cols_scalar(m, k, a, b, ldb, c, ldc, j0, j1);
+}
+
+#endif  // TUCKER_HAVE_VEC_EXT
+
+#if TUCKER_HAVE_VEC_EXT
+
+/// Streaming twin of ttm_cols_simd for DRAM-resident blocks: walks B rows
+/// sequentially (the unfolding block's natural layout, so the whole X
+/// stream is one forward walk at full sequential bandwidth) and applies
+/// each row as a rank-1 update to the C slab, four C rows per pass to
+/// amortize the shared B load. The caller chunks columns so the m x chunk
+/// C slab stays cache-resident across the k sweep. Per-element chain is
+/// identical to ttm_cols_scalar: zero start, one `c += a * b` per k step,
+/// ascending k.
+template <class T>
+inline void ttm_rows_simd(index_t m, index_t k, const T* a, const T* b,
+                          index_t ldb, T* c, index_t ldc, index_t j0,
+                          index_t j1) {
+  using vec = typename MicroVec<T>::type;
+  for (index_t r = 0; r < m; ++r)
+    for (index_t j = j0; j < j1; ++j) c[r * ldc + j] = T(0);
+  const index_t jv = j0 + (j1 - j0) / kMicroNR * kMicroNR;
+  for (index_t kk = 0; kk < k; ++kk) {
+    const T* bv = b + kk * ldb;
+    index_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const T a0 = a[(i + 0) * k + kk];
+      const T a1 = a[(i + 1) * k + kk];
+      const T a2 = a[(i + 2) * k + kk];
+      const T a3 = a[(i + 3) * k + kk];
+      T* c0 = c + (i + 0) * ldc;
+      T* c1 = c + (i + 1) * ldc;
+      T* c2 = c + (i + 2) * ldc;
+      T* c3 = c + (i + 3) * ldc;
+      index_t j = j0;
+      for (; j < jv; j += kMicroNR) {
+        // Keep several B lines in flight ahead of the walk (pure hint).
+        __builtin_prefetch(bv + j + 16 * kMicroNR);
+        const vec bw = *reinterpret_cast<const vec*>(bv + j);
+        vec* w0 = reinterpret_cast<vec*>(c0 + j);
+        vec* w1 = reinterpret_cast<vec*>(c1 + j);
+        vec* w2 = reinterpret_cast<vec*>(c2 + j);
+        vec* w3 = reinterpret_cast<vec*>(c3 + j);
+        *w0 += a0 * bw;
+        *w1 += a1 * bw;
+        *w2 += a2 * bw;
+        *w3 += a3 * bw;
+      }
+      for (; j < j1; ++j) {
+        const T bs = bv[j];
+        c0[j] += a0 * bs;
+        c1[j] += a1 * bs;
+        c2[j] += a2 * bs;
+        c3[j] += a3 * bs;
+      }
+    }
+    for (; i < m; ++i) {
+      const T ai = a[i * k + kk];
+      T* ci = c + i * ldc;
+      index_t j = j0;
+      for (; j < jv; j += kMicroNR) {
+        vec* w = reinterpret_cast<vec*>(ci + j);
+        *w += ai * *reinterpret_cast<const vec*>(bv + j);
+      }
+      for (; j < j1; ++j) ci[j] += ai * bv[j];
+    }
+  }
+}
+
+#else
+
+template <class T>
+inline void ttm_rows_simd(index_t m, index_t k, const T* a, const T* b,
+                          index_t ldb, T* c, index_t ldc, index_t j0,
+                          index_t j1) {
+  ttm_cols_scalar(m, k, a, b, ldb, c, ldc, j0, j1);
+}
+
+#endif  // TUCKER_HAVE_VEC_EXT
+
+/// Dispatches one column range of a TTM block. `stream` selects the
+/// B-walk: register tiles over a cache-resident block, or the sequential
+/// row-update walk for DRAM-resident blocks. All variants share one
+/// per-element accumulation chain, so engine, variant and walk order are
+/// bitwise-interchangeable.
+template <class T>
+inline void ttm_cols(bool simd, bool stream, index_t m, index_t k, const T* a,
+                     const T* b, index_t ldb, T* c, index_t ldc, index_t j0,
+                     index_t j1) {
+  if (!simd) {
+    ttm_cols_scalar(m, k, a, b, ldb, c, ldc, j0, j1);
+  } else if (stream) {
+    ttm_rows_simd(m, k, a, b, ldb, c, ldc, j0, j1);
+  } else {
+    ttm_cols_simd(m, k, a, b, ldb, c, ldc, j0, j1);
+  }
+}
+
+/// Mode-0 TTM kernel: for each column c in [c0, c1) of the column-major
+/// mode-0 unfolding (columns are contiguous I_0-fibers), computes the
+/// length-r output fiber y_c = U x_c with a register/stack accumulator.
+/// `ut` is U^T staged contiguously as k x ldut row-major (ldut >= r,
+/// zero-padded columns beyond r), so both operands stream unit-stride --
+/// this replaces the strided `.t()` gemm views of the reference path.
+/// Requires r <= kTtmAxpyMaxR.
+template <class T>
+inline void ttm_mode0_scalar(index_t k, index_t r, const T* ut, index_t ldut,
+                             const T* x, T* y, index_t c0, index_t c1) {
+  T acc[kTtmAxpyMaxR];
+  for (index_t c = c0; c < c1; ++c) {
+    const T* xc = x + c * k;
+    for (index_t q = 0; q < r; ++q) acc[q] = T(0);
+    for (index_t kk = 0; kk < k; ++kk) {
+      const T xv = xc[kk];
+      const T* uv = ut + kk * ldut;
+      for (index_t q = 0; q < r; ++q) acc[q] += xv * uv[q];
+    }
+    T* yc = y + c * r;
+    for (index_t q = 0; q < r; ++q) yc[q] = acc[q];
+  }
+}
+
+#if TUCKER_HAVE_VEC_EXT
+
+/// SIMD twin of ttm_mode0_scalar, specialized at compile time on the number
+/// of NR-wide accumulator vectors NV = ceil(r / NR) so the accumulators are
+/// register-resident (a runtime-length accumulator array spills to the
+/// stack and turns every k step into a load/store round-trip). Small NV
+/// processes two columns per pass for extra independent FMA chains; large
+/// NV has enough chains per column. ldut padding keeps the trailing lanes
+/// at exact zero, and those lanes are never stored. Per-element arithmetic
+/// is identical to the scalar kernel.
+template <class T, int NV>
+inline void ttm_mode0_cols_nv(index_t k, index_t r, const T* ut, index_t ldut,
+                              const T* x, T* y, index_t c0, index_t c1) {
+  using vec = typename MicroVec<T>::type;
+  auto store_fiber = [r](const vec* acc, T* yc) {
+    index_t q = 0;
+    for (; (q + 1) * kMicroNR <= r; ++q)
+      *reinterpret_cast<vec*>(yc + q * kMicroNR) = acc[q];
+    for (index_t j = q * kMicroNR; j < r; ++j)
+      yc[j] = acc[q][j - q * kMicroNR];
+  };
+  index_t c = c0;
+  // Pair columns only while 2*NV accumulators plus the U row still fit the
+  // architectural register file; beyond that the chains per column already
+  // cover FMA latency and pairing would spill.
+  if constexpr (NV <= 2) {
+    for (; c + 2 <= c1; c += 2) {
+      const T* xa = x + c * k;
+      const T* xb = xa + k;
+      vec sa[NV], sb[NV];
+      for (int q = 0; q < NV; ++q) {
+        sa[q] = vec{};
+        sb[q] = vec{};
+      }
+      for (index_t kk = 0; kk < k; ++kk) {
+        const vec* uv = reinterpret_cast<const vec*>(ut + kk * ldut);
+        const T va = xa[kk];
+        const T vb = xb[kk];
+        for (int q = 0; q < NV; ++q) {
+          sa[q] += va * uv[q];
+          sb[q] += vb * uv[q];
+        }
+      }
+      store_fiber(sa, y + c * r);
+      store_fiber(sb, y + (c + 1) * r);
+    }
+  }
+  for (; c < c1; ++c) {
+    const T* xc = x + c * k;
+    vec s[NV];
+    for (int q = 0; q < NV; ++q) s[q] = vec{};
+    for (index_t kk = 0; kk < k; ++kk) {
+      const vec* uv = reinterpret_cast<const vec*>(ut + kk * ldut);
+      const T xv = xc[kk];
+      for (int q = 0; q < NV; ++q) s[q] += xv * uv[q];
+    }
+    store_fiber(s, y + c * r);
+  }
+}
+
+template <class T>
+inline void ttm_mode0_simd(index_t k, index_t r, const T* ut, index_t ldut,
+                           const T* x, T* y, index_t c0, index_t c1) {
+  static_assert(kTtmAxpyMaxR / kMicroNR == 8, "dispatch covers NV = 1..8");
+  switch ((r + kMicroNR - 1) / kMicroNR) {
+    case 1: return ttm_mode0_cols_nv<T, 1>(k, r, ut, ldut, x, y, c0, c1);
+    case 2: return ttm_mode0_cols_nv<T, 2>(k, r, ut, ldut, x, y, c0, c1);
+    case 3: return ttm_mode0_cols_nv<T, 3>(k, r, ut, ldut, x, y, c0, c1);
+    case 4: return ttm_mode0_cols_nv<T, 4>(k, r, ut, ldut, x, y, c0, c1);
+    case 5: return ttm_mode0_cols_nv<T, 5>(k, r, ut, ldut, x, y, c0, c1);
+    case 6: return ttm_mode0_cols_nv<T, 6>(k, r, ut, ldut, x, y, c0, c1);
+    case 7: return ttm_mode0_cols_nv<T, 7>(k, r, ut, ldut, x, y, c0, c1);
+    case 8: return ttm_mode0_cols_nv<T, 8>(k, r, ut, ldut, x, y, c0, c1);
+    default: return ttm_mode0_scalar(k, r, ut, ldut, x, y, c0, c1);
+  }
+}
+
+#else
+
+template <class T>
+inline void ttm_mode0_simd(index_t k, index_t r, const T* ut, index_t ldut,
+                           const T* x, T* y, index_t c0, index_t c1) {
+  ttm_mode0_scalar(k, r, ut, ldut, x, y, c0, c1);
+}
+
+#endif  // TUCKER_HAVE_VEC_EXT
+
+template <class T>
+inline void ttm_mode0_cols(bool simd, index_t k, index_t r, const T* ut,
+                           index_t ldut, const T* x, T* y, index_t c0,
+                           index_t c1) {
+  if (simd) {
+    ttm_mode0_simd(k, r, ut, ldut, x, y, c0, c1);
+  } else {
+    ttm_mode0_scalar(k, r, ut, ldut, x, y, c0, c1);
+  }
+}
+
 /// Edge tile (mr < MR and/or nr < NR): runs the full kernel into a local
 /// MR x NR buffer seeded from the live C entries, then stores back only the
 /// live region. Padded A rows / B columns are zero, so the live elements

@@ -12,9 +12,9 @@
 //    matrix, orthonormalize, and do one subspace iteration. Cost
 //    ~(r+p)/m of the Gram kernel -- the "likely to be competitive"
 //    alternative the paper points to for loose tolerances.
-//  - Greedy mode ordering: when target ranks are known a priori, process
-//    modes by ascending R_n/I_n so the cheapest-to-shrink modes go first
-//    (the tuning knob discussed in Sec 4.2.3).
+//  - Greedy mode ordering (the tuning knob discussed in Sec 4.2.3) has
+//    graduated out of this header: see core/sthosvd.hpp greedy_order /
+//    SthosvdOptions::auto_order.
 
 #include <algorithm>
 #include <numeric>
@@ -151,21 +151,9 @@ ModeSvd<T> randomized_svd(const tensor::Tensor<T>& y, std::size_t n,
 /// future-work variants.
 enum class ExtendedMethod { kGram, kQr, kGramMixed, kRandomized };
 
-/// Greedy mode order for fixed-rank truncation: most-shrinking modes first
-/// (ascending R_n / I_n), which minimizes the data volume seen by later
-/// modes. Falls back to forward order when ranks are unknown.
-inline std::vector<std::size_t> greedy_order(const tensor::Dims& dims,
-                                             const std::vector<index_t>& ranks) {
-  std::vector<std::size_t> order(dims.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  if (ranks.size() != dims.size()) return order;
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return static_cast<double>(ranks[a]) / dims[a] <
-                            static_cast<double>(ranks[b]) / dims[b];
-                   });
-  return order;
-}
+// Greedy mode ordering lives in core/sthosvd.hpp (greedy_order): it is no
+// longer a future-work extension but the cost-model-driven order behind
+// SthosvdOptions::auto_order, shared by the sequential and simmpi drivers.
 
 /// Sequential ST-HOSVD over the extended engine set (fixed-rank only for
 /// kRandomized, which cannot certify an error tolerance).

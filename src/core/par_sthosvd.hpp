@@ -167,4 +167,17 @@ ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
                              std::move(order), norm_sq};
 }
 
+/// Options-struct entry point: resolves the mode order from the *global*
+/// dimensions with the same resolve_order as the sequential driver, so a
+/// sequential run and a simmpi run of the same problem always process
+/// modes in the same order (auto_order included).
+template <class T>
+ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
+                                const TruncationSpec& spec, SvdMethod method,
+                                const SthosvdOptions& opt) {
+  return par_sthosvd(x, spec, method,
+                     resolve_order(x.global_dims(), spec, method, opt),
+                     opt.rand);
+}
+
 }  // namespace tucker::core

@@ -38,6 +38,26 @@ class Breakdown {
   double total_compute() const { return total_compute_; }
   double total_comm() const { return total_comm_; }
 
+  /// Aggregates a region ledger by the label's top-level prefix (the text
+  /// before the first '/'): "mode2/LQ" + "mode2/SVD" + "mode2/TTM" ->
+  /// "mode2". This is the per-mode rollup the fig3/fig4 scaling benches
+  /// print; it works on any region map (a Breakdown's own, or the
+  /// RankStats copies the runtime hands to the harness).
+  static std::map<std::string, double> by_prefix(
+      const std::map<std::string, double>& regions) {
+    std::map<std::string, double> out;
+    for (const auto& [label, seconds] : regions)
+      out[label.substr(0, label.find('/'))] += seconds;
+    return out;
+  }
+
+  std::map<std::string, double> compute_by_prefix() const {
+    return by_prefix(compute_);
+  }
+  std::map<std::string, double> comm_by_prefix() const {
+    return by_prefix(comm_);
+  }
+
  private:
   std::string current_ = "other";
   std::map<std::string, double> compute_;

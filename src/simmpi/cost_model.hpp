@@ -58,6 +58,23 @@ struct CostModel {
                                          std::int64_t w_new) {
     return m_loc * w_new;
   }
+
+  /// Words each rank contributes to the TTM truncation reduce-scatter over
+  /// the mode-n fiber: its full R-row partial product over its local
+  /// columns (see dist::par_ttm_truncate_into).
+  static std::int64_t ttm_partial_words(std::int64_t r,
+                                        std::int64_t local_cols) {
+    return r * local_cols;
+  }
+
+  /// Modeled cost of the runtime's ring reduce-scatter
+  /// (Comm::reduce_scatter_bytes): p-1 rounds, each moving one ~1/p block
+  /// of the buffer. This is the per-mode TTM communication credit the
+  /// scaling benches print next to the measured breakdown.
+  double reduce_scatter_cost(int p, std::int64_t total_bytes) const {
+    if (p <= 1) return 0;
+    return (p - 1) * message_cost(total_bytes / p);
+  }
 };
 
 }  // namespace tucker::mpi

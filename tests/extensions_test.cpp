@@ -158,8 +158,35 @@ TEST(GreedyOrderTest, MostTruncatingModeFirst) {
 }
 
 TEST(GreedyOrderTest, TiesKeepModeOrder) {
-  auto order = core::greedy_order({10, 20, 10}, {5, 10, 5});
+  // Fully symmetric problem: every step is a cost tie, which resolves to
+  // the lowest unprocessed mode, i.e. forward order.
+  auto order = core::greedy_order({10, 10, 10}, {5, 5, 5});
   EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(GreedyOrderTest, CostModelWeighsShrunkenDims) {
+  // Modes 0 and 2 tie on the first step (lowest index wins); once mode 0
+  // has shrunk to rank 5, mode 2's unfolding is half as wide as mode 1's,
+  // so the flop model processes it next -- unlike a pure R/I ratio sort,
+  // which would keep storage order here.
+  auto order = core::greedy_order({10, 20, 10}, {5, 10, 5});
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 2, 1}));
+}
+
+TEST(GreedyOrderTest, ModeledFlopsMatchGreedyChoice) {
+  // The greedy order is never modeled as more expensive than forward or
+  // backward order on the same problem.
+  const tensor::Dims dims = {24, 12, 18};
+  const std::vector<index_t> ranks = {20, 3, 9};
+  auto greedy = core::greedy_order(dims, ranks, SvdMethod::kQr);
+  const double g = core::modeled_sthosvd_flops(dims, ranks, greedy,
+                                               SvdMethod::kQr);
+  const double f = core::modeled_sthosvd_flops(
+      dims, ranks, core::forward_order(3), SvdMethod::kQr);
+  const double b = core::modeled_sthosvd_flops(
+      dims, ranks, core::backward_order(3), SvdMethod::kQr);
+  EXPECT_LE(g, f);
+  EXPECT_LE(g, b);
 }
 
 TEST(GreedyOrderTest, EmptyRanksFallsBackToForward) {

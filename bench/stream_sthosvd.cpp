@@ -1,0 +1,325 @@
+// Out-of-core streaming ST-HOSVD vs the in-memory driver: the cost of
+// staying under a slab byte budget (src/stream/stream_sthosvd.hpp).
+//
+// Sweeps the chunk budget from deeply out of core (total/16) up past the
+// tensor size (where the driver gathers once and delegates), against one
+// in-memory QR-SVD ST-HOSVD of the same tensor; prints time, slowdown,
+// achieved error, arena high-water over budget, and spill traffic per
+// budget, and checks bitwise determinism across thread-pool widths.
+// --json=PATH records the sweep (BENCH_stream.json by default);
+// --compare[=PATH] --fail-under=X re-runs the sweep and gates on the
+// per-budget time ratio against the recorded baseline (the CI
+// stream-regression check, micro_kernels style).
+//
+// --smoke=1 shrinks the input and *enforces* correctness: streaming error
+// within 10% of the in-memory error, arena high-water under 2x the budget
+// while out of core, delegation matching the in-memory error, and bitwise
+// thread determinism, exiting nonzero on any failure (the CI Release leg).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "common/workspace.hpp"
+#include "stream/stream_sthosvd.hpp"
+
+using namespace tucker::bench;
+
+namespace {
+
+using tucker::Workspace;
+using tucker::stream::InMemorySource;
+using tucker::stream::StreamOptions;
+using tucker::stream::StreamSthosvdResult;
+using tucker::tensor::Tensor;
+
+template <class F>
+double time_best_of(int reps, F&& f) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    tucker::WallTimer t;
+    f();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+struct SweepRow {
+  long long budget_kib;
+  double seconds;
+  double slowdown;  // vs the in-memory run
+  double err;
+  double hwm_over_budget;
+  double spill_mb;
+  int gathered_after;
+};
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++failures;
+  }
+}
+
+// The sweep's budget ladder, derived from the tensor size so a baseline
+// written at the same --smoke/--scale settings always matches by row key:
+// deeply out of core, moderately out of core, nearly resident, delegated.
+std::vector<std::size_t> budget_ladder(std::size_t total_bytes) {
+  return {total_bytes / 16, total_bytes / 6, total_bytes / 3,
+          2 * total_bytes};
+}
+
+// ------------------------------------------------------------ compare mode
+
+struct BaselineRow {
+  long long budget_kib;
+  double seconds;
+};
+
+// Parses the rows of a BENCH_stream.json written below (one object per
+// line); only the gate's keys are read.
+std::vector<BaselineRow> load_baseline(const std::string& path) {
+  std::vector<BaselineRow> rows;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return rows;
+  char line[512];
+  while (std::fgets(line, sizeof(line), f)) {
+    BaselineRow r{};
+    const char* b = std::strstr(line, "\"budget_kib\": ");
+    const char* s = std::strstr(line, "\"seconds\": ");
+    if (!b || !s) continue;
+    if (std::sscanf(b, "\"budget_kib\": %lld", &r.budget_kib) != 1) continue;
+    if (std::sscanf(s, "\"seconds\": %lf", &r.seconds) != 1) continue;
+    rows.push_back(r);
+  }
+  std::fclose(f);
+  return rows;
+}
+
+// fail_under <= 0 disables the gate; otherwise any matched budget whose
+// baseline/new time ratio falls below it makes the run fail (exit 2) --
+// the CI stream-regression check.
+int run_compare(const std::vector<SweepRow>& rows, const std::string& path,
+                double fail_under) {
+  const auto base = load_baseline(path);
+  if (base.empty()) {
+    std::fprintf(stderr, "no baseline rows in %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("%10s | %9s %9s | %7s\n", "budget", "base s", "new s",
+              "ratio");
+  int matched = 0;
+  double worst = 1e300;
+  for (const auto& r : rows) {
+    const BaselineRow* b = nullptr;
+    for (const auto& cand : base)
+      if (cand.budget_kib == r.budget_kib) b = &cand;
+    if (!b) continue;
+    ++matched;
+    const double ratio = b->seconds / r.seconds;  // >1 = new is faster
+    worst = std::min(worst, ratio);
+    std::printf("%7lldKiB | %9.4f %9.4f | %6.2fx\n", r.budget_kib,
+                b->seconds, r.seconds, ratio);
+  }
+  if (matched == 0) {
+    std::fprintf(stderr, "no rows matched the baseline schema\n");
+    return 1;
+  }
+  std::printf("%d rows compared; worst ratio %.2fx\n", matched, worst);
+  if (fail_under > 0 && worst < fail_under) {
+    std::fprintf(stderr, "worst ratio %.2fx below --fail-under=%.2f\n",
+                 worst, fail_under);
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const bool smoke = args.geti("smoke", 0) != 0;
+  std::string json_path = "BENCH_stream.json";
+  std::string compare_path;
+  double fail_under = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strcmp(argv[i], "--compare") == 0)
+      compare_path = "BENCH_stream.json";
+    if (std::strncmp(argv[i], "--compare=", 10) == 0)
+      compare_path = argv[i] + 10;
+    if (std::strncmp(argv[i], "--fail-under=", 13) == 0)
+      fail_under = std::atof(argv[i] + 13);
+  }
+  const bool write_json =
+      compare_path.empty() && (!smoke || args.geti("json-in-smoke", 0) != 0);
+
+  // Long-trailing-mode tensor with geometric per-mode spectra: the stream
+  // driver's target shape (the trailing mode is the slab axis). The smoke
+  // size is the acceptance-test configuration: the smallest budget is 16x
+  // under the tensor.
+  const Dims dims = smoke ? Dims{16, 14, 12, 104} : Dims{32, 30, 28, 168};
+  const Dims ranks = smoke ? Dims{5, 5, 5, 5} : Dims{8, 8, 8, 8};
+  auto x = tucker::data::tensor_with_spectra(
+      dims,
+      {tucker::data::DecayProfile::geometric(1, 1e-6),
+       tucker::data::DecayProfile::geometric(1, 1e-6),
+       tucker::data::DecayProfile::geometric(1, 1e-6),
+       tucker::data::DecayProfile::geometric(1, 1e-6)},
+      9090);
+  const auto spec = TruncationSpec::fixed_ranks(ranks);
+  const std::size_t total_bytes = static_cast<std::size_t>(x.size()) *
+                                  sizeof(double);
+
+  std::printf("stream_sthosvd: %s double tensor (%.1f MiB), fixed ranks "
+              "%s\n", dims_to_string(dims).c_str(),
+              static_cast<double>(total_bytes) / (1 << 20),
+              dims_to_string(ranks).c_str());
+  print_rule();
+
+  // --- in-memory reference: classic ST-HOSVD, QR-SVD engine -------------
+  Workspace& ws = Workspace::local();
+  ws.reset_high_water();
+  auto ref = tucker::core::sthosvd(x, spec, SvdMethod::kQr);
+  const std::size_t hwm_inmem = ws.high_water();
+  const double t_inmem = time_best_of(smoke ? 1 : 2, [&] {
+    auto r = tucker::core::sthosvd(x, spec, SvdMethod::kQr);
+    (void)r;
+  });
+  const double err_inmem = relative_error(x, ref.tucker.reconstruct());
+  std::printf("in-memory QR-SVD: %8.4fs  err %.3e  arena peak %.1f MiB\n",
+              t_inmem, err_inmem,
+              static_cast<double>(hwm_inmem) / (1 << 20));
+
+  // --- budget sweep ------------------------------------------------------
+  std::printf("\nbudget sweep (slowdown = t_stream / t_inmem; hwm/budget "
+              "is the driver-arena peak\nover the slab budget -- the "
+              "working-set bound; gather = mode after which the\nshrunken "
+              "tensor fit the budget and the driver went resident, -1 = "
+              "never):\n");
+  std::printf("%10s %6s | %9s %8s | %10s %10s %8s %7s\n", "budget",
+              "slabs", "t_stream", "slowdown", "err", "hwm/budget",
+              "spill", "gather");
+  std::vector<SweepRow> rows;
+  for (const std::size_t budget : budget_ladder(total_bytes)) {
+    const auto slices = tucker::stream::chunk_slices_for_budget<double>(
+        x.dims(), std::max<std::size_t>(budget / 2, 1));
+    InMemorySource<double> src(x, slices);
+    StreamOptions sopt;
+    sopt.chunk_bytes = budget;
+    auto out = tucker::stream::stream_sthosvd(src, spec,
+                                              SvdMethod::kStream, sopt);
+    const double err =
+        relative_error(x, out.decomposition.tucker.reconstruct());
+    const double t = time_best_of(smoke ? 1 : 2, [&] {
+      InMemorySource<double> s2(x, slices);
+      auto r = tucker::stream::stream_sthosvd(s2, spec,
+                                              SvdMethod::kStream, sopt);
+      (void)r;
+    });
+    const double hwm_ratio =
+        static_cast<double>(out.arena_high_water) /
+        static_cast<double>(budget);
+    const double spill_mb =
+        static_cast<double>(out.spill_bytes) / (1 << 20);
+    std::printf("%7zuKiB %6ld | %8.4fs %7.2fx | %10.3e %10.2f %6.1fMB "
+                "%7d\n", budget >> 10, static_cast<long>(src.num_slabs()),
+                t, t / t_inmem, err, hwm_ratio, spill_mb,
+                out.gathered_after);
+    rows.push_back({static_cast<long long>(budget >> 10), t, t / t_inmem,
+                    err, hwm_ratio, spill_mb, out.gathered_after});
+
+    if (out.gathered_after == 0) {
+      // Delegated run: same tensor, same kernels as the reference -- the
+      // error must agree to roundoff, and no spill traffic happened.
+      check(std::abs(err - err_inmem) <= 1e-12 * (1 + err_inmem),
+            "delegated run matches in-memory error");
+      check(out.spill_bytes == 0, "delegated run spills nothing");
+    } else {
+      // Out of core: the merge tree stays on the QR-SVD accuracy rung,
+      // and the working set stays under twice the budget.
+      check(err <= 1.1 * err_inmem + 1e-12,
+            "stream error within 10% of in-memory");
+      check(out.arena_high_water < 2 * budget,
+            "arena high-water under 2x budget");
+      check(out.spill_bytes > 0, "out-of-core run spilled");
+    }
+  }
+  print_rule();
+
+  // --- bitwise determinism across thread-pool widths --------------------
+  {
+    const std::size_t budget = budget_ladder(total_bytes).front();
+    const auto slices = tucker::stream::chunk_slices_for_budget<double>(
+        x.dims(), std::max<std::size_t>(budget / 2, 1));
+    StreamOptions sopt;
+    sopt.chunk_bytes = budget;
+    auto run = [&] {
+      InMemorySource<double> src(x, slices);
+      return tucker::stream::stream_sthosvd(src, spec,
+                                            SvdMethod::kStream, sopt);
+    };
+    tucker::parallel::set_max_threads(1);
+    auto a = run();
+    bool all_same = true;
+    for (const int w : {2, 7}) {
+      tucker::parallel::set_max_threads(w);
+      auto b = run();
+      const auto& ca = a.decomposition.tucker.core;
+      const auto& cb = b.decomposition.tucker.core;
+      const bool same =
+          ca.size() == cb.size() &&
+          std::memcmp(ca.data(), cb.data(),
+                      static_cast<std::size_t>(ca.size()) *
+                          sizeof(double)) == 0;
+      all_same = all_same && same;
+    }
+    tucker::parallel::set_max_threads(1);
+    std::printf("bitwise identical across TUCKER_NUM_THREADS in {1,2,7}: "
+                "%s\n", all_same ? "yes" : "NO");
+    check(all_same, "thread-count bitwise determinism");
+  }
+  print_rule();
+
+  if (!compare_path.empty()) {
+    const int rc = run_compare(rows, compare_path, fail_under);
+    if (rc != 0) return rc;
+  } else if (write_json) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"dims\": \"%s\",\n  \"t_inmem\": %.6f,\n"
+                 "  \"err_inmem\": %.6e,\n  \"results\": [\n",
+                 dims_to_string(dims).c_str(), t_inmem, err_inmem);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      std::fprintf(f,
+                   "    {\"budget_kib\": %lld, \"seconds\": %.6f, "
+                   "\"slowdown_vs_inmem\": %.3f, \"err\": %.6e, "
+                   "\"hwm_over_budget\": %.3f, \"spill_mb\": %.2f, "
+                   "\"gathered_after\": %d}%s\n",
+                   r.budget_kib, r.seconds, r.slowdown, r.err,
+                   r.hwm_over_budget, r.spill_mb, r.gathered_after,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", json_path.c_str(), rows.size());
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "%d check(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("all checks passed\n");
+  return 0;
+}

@@ -72,4 +72,19 @@ inline double par_flop_threshold() {
   return v;
 }
 
+/// Slab budget of the out-of-core streaming drivers in bytes
+/// (TUCKER_STREAM_CHUNK_MB, default 256 MiB). stream_sthosvd sizes its
+/// slabs so one slab's payload fits the budget; the in-memory kStream
+/// engine chunks unfoldings by the same figure. Unlike the blocking knobs
+/// above this one *does* change results (it moves the merge-tree cut
+/// points), but only within the QR-SVD accuracy rung -- see DESIGN.md
+/// Sec 11. Tests and benches pass explicit byte budgets instead.
+inline std::size_t stream_chunk_bytes() {
+  static const std::size_t v =
+      static_cast<std::size_t>(
+          detail::env_index("TUCKER_STREAM_CHUNK_MB", 256, 1, 1 << 20))
+      << 20;
+  return v;
+}
+
 }  // namespace tucker::tune

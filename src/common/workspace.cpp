@@ -28,6 +28,11 @@ void* Workspace::get_bytes(std::size_t bytes) {
       const std::uintptr_t p = (base + cur_off_ + kAlign - 1) & ~(kAlign - 1);
       if (p + bytes <= base + b.size) {
         cur_off_ = static_cast<std::size_t>(p + bytes - base);
+        // High-water bookkeeping: bytes_in_use() walks the (logarithmically
+        // few) blocks below the bump block, so this stays O(log reserved).
+        const std::size_t used = bytes_in_use();
+        if (used > high_water_) high_water_ = used;
+        if (used > open_peak_) open_peak_ = used;
         return reinterpret_cast<void*>(p);
       }
       // This block is exhausted for the current frame; spill into the next
@@ -46,12 +51,30 @@ void* Workspace::get_bytes(std::size_t bytes) {
   }
 }
 
+void Workspace::record_region(std::string_view name, std::size_t peak) {
+  auto it = region_marks_.find(name);
+  if (it == region_marks_.end())
+    region_marks_.emplace(std::string(name), peak);
+  else if (peak > it->second)
+    it->second = peak;
+}
+
+std::size_t Workspace::region_high_water(std::string_view name) const {
+  auto it = region_marks_.find(name);
+  return it == region_marks_.end() ? 0 : it->second;
+}
+
+void Workspace::clear_region_marks() { region_marks_.clear(); }
+
 void Workspace::release() {
   for (auto& [key, entry] : stash_) entry.destroy(entry.ptr);
   stash_.clear();
   blocks_.clear();
   cur_block_ = 0;
   cur_off_ = 0;
+  high_water_ = 0;
+  open_peak_ = 0;
+  region_marks_.clear();
 }
 
 }  // namespace tucker

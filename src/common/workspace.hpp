@@ -97,6 +97,54 @@ class Workspace {
     return s;
   }
 
+  /// Bytes currently handed out: full blocks below the bump block plus the
+  /// bump offset. Tails skipped when a frame spills into the next block
+  /// count as in use -- they are unusable until the frame rewinds, so they
+  /// belong in the footprint.
+  std::size_t bytes_in_use() const {
+    std::size_t s = 0;
+    for (std::size_t b = 0; b < cur_block_ && b < blocks_.size(); ++b)
+      s += blocks_[b].size;
+    return s + cur_off_;
+  }
+
+  /// Largest bytes_in_use() observed since construction (or the last
+  /// reset_high_water()). This is what makes "RSS stays O(slab)" a testable
+  /// claim for the out-of-core drivers instead of an eyeballed one.
+  std::size_t high_water() const { return high_water_; }
+  void reset_high_water() { high_water_ = bytes_in_use(); }
+
+  /// RAII region for per-phase peak attribution: while open, every get
+  /// updates the region's own peak. Regions nest (an inner region's peak
+  /// also counts toward the enclosing one) and repeat (the recorded mark is
+  /// the max over all visits under the same name).
+  class WaterRegion {
+   public:
+    WaterRegion(Workspace& ws, std::string_view name)
+        : ws_(&ws), name_(name), saved_(ws.open_peak_) {
+      ws_->open_peak_ = ws_->bytes_in_use();
+    }
+    ~WaterRegion() {
+      const std::size_t peak = ws_->open_peak_;
+      ws_->record_region(name_, peak);
+      ws_->open_peak_ = saved_ > peak ? saved_ : peak;
+    }
+    WaterRegion(const WaterRegion&) = delete;
+    WaterRegion& operator=(const WaterRegion&) = delete;
+
+   private:
+    Workspace* ws_;
+    std::string_view name_;
+    std::size_t saved_;
+  };
+
+  /// Peak bytes_in_use() observed inside regions opened under `name`
+  /// (0 if the name was never opened).
+  std::size_t region_high_water(std::string_view name) const;
+
+  /// Forgets all recorded region marks (the global high_water() survives).
+  void clear_region_marks();
+
   /// Frees all arena blocks and destroys every stashed object. Only valid
   /// when no Frame is open; meant for tests and teardown.
   void release();
@@ -124,11 +172,15 @@ class Workspace {
   };
 
   void* get_bytes(std::size_t bytes);
+  void record_region(std::string_view name, std::size_t peak);
 
   std::vector<Block> blocks_;
   std::size_t cur_block_ = 0;  // block the next get bumps into
   std::size_t cur_off_ = 0;    // byte offset within that block
+  std::size_t high_water_ = 0;  // max bytes_in_use() ever observed
+  std::size_t open_peak_ = 0;   // running peak of the innermost WaterRegion
   std::map<StashKey, Entry, StashKeyLess> stash_;
+  std::map<std::string, std::size_t, std::less<>> region_marks_;
 };
 
 }  // namespace tucker

@@ -122,6 +122,10 @@ ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
       sigma_sq = std::move(basis.sigma_sq);
       u = std::move(basis.u);
     } else {
+      // kQr and kStream both land here: the distributed butterfly TSQR of
+      // par_tensor_lq *is* a hierarchical triangle merge (the same tplqt
+      // reduction SvdMethod::kStream runs over trailing-mode chunks), so
+      // the streaming method needs no separate distributed code path.
       blas::Matrix<T> l(0, 0);
       {
         auto rg = world.region(label + "/LQ");

@@ -49,6 +49,12 @@ inline double modeled_mode_flops(index_t m, index_t cols, index_t r,
     case SvdMethod::kQr:
       svd = static_cast<double>(flops::qr_svd_unfolding(m, cols));
       break;
+    case SvdMethod::kStream:
+      // Same leading-order cost as QR-SVD: the per-chunk LQs sum to the
+      // full unfolding's LQ and the O(log C) triangle merges are an
+      // m^2-sized tail the ordering heuristic can ignore.
+      svd = static_cast<double>(flops::qr_svd_unfolding(m, cols));
+      break;
     case SvdMethod::kRand: {
       const index_t guess = ropt.rank_guess > 0 ? ropt.rank_guess : r;
       const index_t w = std::min<index_t>(m, guess + ropt.oversample);

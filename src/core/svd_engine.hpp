@@ -13,6 +13,11 @@
 //    with w = rank + oversampling instead of O(m^2 cols) -- the win when
 //    selected ranks are a small fraction of the mode size. Tolerance mode
 //    is honored via adaptive oversampling (see rand_svd).
+//  - Stream (stream_svd, Iwen-Ong hierarchical SVD): QR-SVD computed per
+//    trailing-mode chunk and merged up a binary tree of tplqt calls; same
+//    flop order and accuracy rung as QR-SVD, but the working set is one
+//    chunk's unfolding (TUCKER_STREAM_CHUNK_MB) -- the in-memory face of
+//    the out-of-core stream_sthosvd driver (src/stream/).
 //
 // All engines return squared singular values (descending) plus the left
 // singular vector matrix. Gram-SVD follows the paper's convention for
@@ -33,7 +38,9 @@
 #include "lapack/eig.hpp"
 #include "lapack/qr.hpp"
 #include "lapack/svd.hpp"
+#include "common/tuning.hpp"
 #include "lapack/tridiag_eig.hpp"
+#include "stream/hier_svd.hpp"
 #include "tensor/gram.hpp"
 #include "tensor/sketch.hpp"
 #include "tensor/tensor.hpp"
@@ -44,7 +51,7 @@ namespace tucker::core {
 using blas::index_t;
 using tensor::Tensor;
 
-enum class SvdMethod { kGram, kQr, kRand };
+enum class SvdMethod { kGram, kQr, kRand, kStream };
 
 // Exhaustive by design: no default case, so -Wswitch (promoted to an error
 // by the build) flags any future engine that forgets to name itself.
@@ -56,6 +63,8 @@ inline std::string_view method_name(SvdMethod m) {
       return "QR";
     case SvdMethod::kRand:
       return "Rand";
+    case SvdMethod::kStream:
+      return "Stream";
   }
   return "?";  // unreachable; silences -Wreturn-type
 }
@@ -100,12 +109,11 @@ ModeSvd<T> gram_svd(const Tensor<T>& y, std::size_t n,
 /// de Rijk pivoting (simplest, very accurate on this preconditioned input).
 enum class SmallSvdBackend { kJacobi, kGolubKahan };
 
-/// SVD of the mode-n unfolding via LQ preprocessing (paper Alg 2 + SVD of
-/// the triangular factor, right singular vectors never formed).
+/// Small SVD of an LQ triangle: the shared back half of qr_svd and the
+/// streaming engine (both must take the identical code path so a
+/// single-chunk stream is bitwise equal to the in-memory QR-SVD).
 template <class T>
-ModeSvd<T> qr_svd(const Tensor<T>& y, std::size_t n,
-                  SmallSvdBackend backend = SmallSvdBackend::kGolubKahan) {
-  blas::Matrix<T> l = tensor::tensor_lq(y, n);
+ModeSvd<T> svd_of_l(blas::Matrix<T> l, SmallSvdBackend backend) {
   ModeSvd<T> out;
   if (backend == SmallSvdBackend::kGolubKahan && l.rows() >= l.cols() &&
       l.cols() >= 1) {
@@ -120,6 +128,30 @@ ModeSvd<T> qr_svd(const Tensor<T>& y, std::size_t n,
   for (T s : svd.sigma) out.sigma_sq.push_back(s * s);
   out.u = std::move(svd.u);
   return out;
+}
+
+/// SVD of the mode-n unfolding via LQ preprocessing (paper Alg 2 + SVD of
+/// the triangular factor, right singular vectors never formed).
+template <class T>
+ModeSvd<T> qr_svd(const Tensor<T>& y, std::size_t n,
+                  SmallSvdBackend backend = SmallSvdBackend::kGolubKahan) {
+  return svd_of_l(tensor::tensor_lq(y, n), backend);
+}
+
+/// Hierarchical streaming QR-SVD (SvdMethod::kStream): the unfolding's LQ
+/// triangle is assembled per trailing-mode chunk and merged up a binary
+/// tree (Iwen-Ong, src/stream/hier_svd.hpp), then the same small SVD as
+/// qr_svd runs on the merged triangle. chunk_slices == 0 sizes chunks from
+/// the TUCKER_STREAM_CHUNK_MB budget. One chunk reduces to qr_svd exactly;
+/// more chunks stay on the eps*||A|| rung with a log-depth constant.
+template <class T>
+ModeSvd<T> stream_svd(const Tensor<T>& y, std::size_t n,
+                      index_t chunk_slices = 0,
+                      SmallSvdBackend backend = SmallSvdBackend::kGolubKahan) {
+  if (chunk_slices <= 0)
+    chunk_slices =
+        stream::chunk_slices_for_budget<T>(y.dims(), tune::stream_chunk_bytes());
+  return svd_of_l(stream::chunked_unfolding_lq(y, n, chunk_slices), backend);
 }
 
 /// Knobs of the randomized range finder. Defaults follow the HMT
@@ -274,6 +306,8 @@ ModeSvd<T> mode_svd(const Tensor<T>& y, std::size_t n, SvdMethod method,
       return qr_svd(y, n);
     case SvdMethod::kRand:
       return rand_svd(y, n, fixed_rank, threshold_sq, ropt);
+    case SvdMethod::kStream:
+      return stream_svd(y, n);
   }
   TUCKER_CHECK(false, "mode_svd: unknown method");
   return {};

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,12 +48,148 @@ void read_raw(std::FILE* f, T* data, std::size_t count) {
 
 inline constexpr std::uint64_t kMagic = 0x544b5254454e53ull;  // "TKRTENS"
 
+/// Sanity cap on the header's order field: a corrupt header claiming 10^9
+/// modes must not drive a 8 GB dims read.
+inline constexpr std::uint32_t kMaxOrder = 64;
+
 template <class T>
 constexpr std::uint32_t dtype_code() {
   return sizeof(T) == 4 ? 1u : 2u;
 }
 
+/// fread that reports a short read instead of aborting (the checked
+/// readers turn it into a typed error).
+template <class T>
+bool try_read(std::FILE* f, T* data, std::size_t count) {
+  return std::fread(data, sizeof(T), count, f) == count;
+}
+
+/// Bytes between the current position and EOF, or -1 if the stream is not
+/// seekable. This is the size check that turns a truncated file into a
+/// typed error instead of a garbage read.
+inline std::int64_t bytes_remaining(std::FILE* f) {
+  const long cur = std::ftell(f);
+  if (cur < 0 || std::fseek(f, 0, SEEK_END) != 0) return -1;
+  const long end = std::ftell(f);
+  if (std::fseek(f, cur, SEEK_SET) != 0 || end < cur) return -1;
+  return static_cast<std::int64_t>(end - cur);
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
 }  // namespace detail
+
+// ------------------------------------------------------- typed error API
+
+/// What went wrong while reading a self-describing file. The checked
+/// readers (`try_read_*`) return this instead of aborting, so callers that
+/// ingest untrusted dumps (servers, long streaming jobs) can reject a bad
+/// file and keep running; the classic `read_*` entry points wrap them and
+/// keep their abort-on-error contract.
+enum class IoStatus {
+  kOk,
+  kOpenFailed,    ///< fopen failed (missing file, permissions)
+  kBadMagic,      ///< leading magic does not identify the format
+  kBadPrecision,  ///< stored dtype differs from the requested T
+  kBadHeader,     ///< header fields are internally inconsistent / absurd
+  kShortFile,     ///< file smaller than the header-promised payload
+};
+
+inline const char* io_status_name(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk:
+      return "ok";
+    case IoStatus::kOpenFailed:
+      return "open-failed";
+    case IoStatus::kBadMagic:
+      return "bad-magic";
+    case IoStatus::kBadPrecision:
+      return "bad-precision";
+    case IoStatus::kBadHeader:
+      return "bad-header";
+    case IoStatus::kShortFile:
+      return "short-file";
+  }
+  return "?";  // unreachable; silences -Wreturn-type
+}
+
+/// Status + diagnosis + payload of a checked read. `value` is meaningful
+/// only when ok().
+template <class V>
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::string detail;  ///< human-readable diagnosis (expected/found sizes)
+  V value{};
+  bool ok() const { return status == IoStatus::kOk; }
+};
+
+/// Checked reader for the self-describing tensor format: validates magic,
+/// dtype and header sanity, then compares the file's actual payload size
+/// against what the header dims promise *before* reading any data.
+template <class T>
+IoResult<Tensor<T>> try_read_tensor(const std::string& path) {
+  IoResult<Tensor<T>> out;
+  detail::FileHandle f(std::fopen(path.c_str(), "rb"));
+  if (!f) {
+    out.status = IoStatus::kOpenFailed;
+    out.detail = "cannot open " + path;
+    return out;
+  }
+  std::uint64_t magic = 0;
+  std::uint32_t dtype = 0, order = 0;
+  if (!detail::try_read(f.get(), &magic, 1) || magic != detail::kMagic) {
+    out.status = IoStatus::kBadMagic;
+    out.detail = "not a tucker tensor file: bad or missing magic";
+    return out;
+  }
+  if (!detail::try_read(f.get(), &dtype, 1) ||
+      dtype != detail::dtype_code<T>()) {
+    out.status = IoStatus::kBadPrecision;
+    out.detail = "stored precision code " + std::to_string(dtype) +
+                 " does not match the requested element type";
+    return out;
+  }
+  if (!detail::try_read(f.get(), &order, 1) || order == 0 ||
+      order > detail::kMaxOrder) {
+    out.status = IoStatus::kBadHeader;
+    out.detail = "implausible tensor order " + std::to_string(order);
+    return out;
+  }
+  Dims dims(order);
+  for (std::uint32_t k = 0; k < order; ++k) {
+    std::uint64_t d = 0;
+    if (!detail::try_read(f.get(), &d, 1)) {
+      out.status = IoStatus::kShortFile;
+      out.detail = "file ends inside the dims header";
+      return out;
+    }
+    dims[k] = static_cast<index_t>(d);
+  }
+  const auto want = static_cast<std::int64_t>(tensor::num_elements(dims)) *
+                    static_cast<std::int64_t>(sizeof(T));
+  const std::int64_t have = detail::bytes_remaining(f.get());
+  if (have >= 0 && have < want) {
+    out.status = IoStatus::kShortFile;
+    out.detail = "header dims promise " + std::to_string(want) +
+                 " payload bytes but the file holds only " +
+                 std::to_string(have);
+    return out;
+  }
+  Tensor<T> t(dims);
+  if (!detail::try_read(f.get(), t.data(),
+                        static_cast<std::size_t>(t.size()))) {
+    out.status = IoStatus::kShortFile;
+    out.detail = "short read inside the payload";
+    return out;
+  }
+  out.value = std::move(t);
+  return out;
+}
 
 // ------------------------------------------------------------ raw format
 
@@ -95,28 +232,19 @@ void write_tensor(const std::string& path, const Tensor<T>& t) {
   std::fclose(f);
 }
 
-/// Reads a self-describing tensor file (dtype must match T).
+/// Reads a self-describing tensor file (dtype must match T). Abort-on-error
+/// wrapper over try_read_tensor; callers that must survive bad input use
+/// the checked reader directly.
 template <class T>
 Tensor<T> read_tensor(const std::string& path) {
-  std::FILE* f = detail::open_or_die(path, "rb");
-  std::uint64_t magic = 0;
-  std::uint32_t dtype = 0, order = 0;
-  detail::read_raw(f, &magic, 1);
-  TUCKER_CHECK(magic == detail::kMagic, "io: not a tucker tensor file");
-  detail::read_raw(f, &dtype, 1);
-  TUCKER_CHECK(dtype == detail::dtype_code<T>(),
+  auto r = try_read_tensor<T>(path);
+  TUCKER_CHECK(r.status != IoStatus::kOpenFailed, "io: cannot open file");
+  TUCKER_CHECK(r.status != IoStatus::kBadMagic,
+               "io: not a tucker tensor file");
+  TUCKER_CHECK(r.status != IoStatus::kBadPrecision,
                "io: stored precision does not match the requested type");
-  detail::read_raw(f, &order, 1);
-  Dims dims(order);
-  for (std::uint32_t k = 0; k < order; ++k) {
-    std::uint64_t d = 0;
-    detail::read_raw(f, &d, 1);
-    dims[k] = static_cast<index_t>(d);
-  }
-  Tensor<T> t(dims);
-  detail::read_raw(f, t.data(), static_cast<std::size_t>(t.size()));
-  std::fclose(f);
-  return t;
+  TUCKER_CHECK(r.ok(), "io: corrupt tensor file (truncated or bad header)");
+  return std::move(r.value);
 }
 
 // ----------------------------------------------------- Tucker container
@@ -158,6 +286,8 @@ core::TuckerTensor<T> read_tucker(const std::string& path) {
   TUCKER_CHECK(dtype == detail::dtype_code<T>(),
                "io: stored precision does not match the requested type");
   detail::read_raw(f, &order, 1);
+  TUCKER_CHECK(order > 0 && order <= detail::kMaxOrder,
+               "io: implausible tucker container order");
   std::vector<std::pair<index_t, index_t>> shapes(order);
   Dims core_dims(order);
   for (std::uint32_t n = 0; n < order; ++n) {
@@ -167,6 +297,16 @@ core::TuckerTensor<T> read_tucker(const std::string& path) {
     shapes[n] = {static_cast<index_t>(rows), static_cast<index_t>(cols)};
     core_dims[n] = static_cast<index_t>(cols);
   }
+  // Size check before any payload read: a truncated container dies with a
+  // diagnosis instead of a garbage factor matrix.
+  std::int64_t want = static_cast<std::int64_t>(tensor::num_elements(core_dims));
+  for (std::uint32_t n = 0; n < order; ++n)
+    want += static_cast<std::int64_t>(shapes[n].first) * shapes[n].second;
+  want *= static_cast<std::int64_t>(sizeof(T));
+  const std::int64_t have = detail::bytes_remaining(f);
+  TUCKER_CHECK(have < 0 || have >= want,
+               "io: truncated tucker container (payload smaller than the "
+               "header promises)");
   core::TuckerTensor<T> tk;
   tk.factors.reserve(order);
   for (std::uint32_t n = 0; n < order; ++n) {

@@ -1,0 +1,234 @@
+#pragma once
+// UnfoldingSource: where the out-of-core drivers get their slabs.
+//
+// A slab is a contiguous range of trailing-mode slices (see
+// io/chunked_tensor_io.hpp for why the last mode is the split axis). The
+// per-mode SVD step of the streaming ST-HOSVD consumes a source slab by
+// slab instead of a raw resident pointer; three implementations cover the
+// three ingest shapes named in the roadmap:
+//
+//  - InMemorySource: chunked view over a resident tensor (testing, and the
+//    bridge from the classic drivers).
+//  - FileSource: slab reader over the chunked on-disk format.
+//  - AppendStream: append-only in-memory stream for online updates; each
+//    appended block becomes one slab, and StreamingTucker::append folds new
+//    blocks into an existing decomposition.
+//
+// SlabPipeline overlaps slab I/O with compute. The thread pool's
+// parallel_for is a blocking fan-out primitive with no single-task submit,
+// so overlap comes from one dedicated I/O thread and two buffers: the
+// reader fills slab k+1 while the caller computes on slab k (the compute
+// side still fans its kernels out to the pool). The handed-out buffer is
+// guarded by the classic depth-2 invariant: the producer may load slab p
+// only once the consumer has moved past slab p-2.
+
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "io/chunked_tensor_io.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tucker::stream {
+
+using blas::index_t;
+
+/// Abstract slab producer. read_slab is non-const (file sources seek); a
+/// source must tolerate being read by one thread at a time, in any order.
+template <class T>
+class UnfoldingSource {
+ public:
+  virtual ~UnfoldingSource() = default;
+  virtual const tensor::Dims& dims() const = 0;
+  virtual index_t num_slabs() const = 0;
+  /// First trailing-mode slice of slab s.
+  virtual index_t slab_begin(index_t s) const = 0;
+  /// Number of trailing-mode slices in slab s.
+  virtual index_t slab_extent(index_t s) const = 0;
+  /// Materializes slab s into `out` (reshaped to the slab's dims).
+  virtual void read_slab(index_t s, tensor::Tensor<T>& out) = 0;
+
+  index_t total_elements() const { return tensor::num_elements(dims()); }
+  std::size_t total_bytes() const {
+    return static_cast<std::size_t>(total_elements()) * sizeof(T);
+  }
+};
+
+/// Chunked view over a resident tensor: slab s copies the contiguous range
+/// of `slab_slices` trailing slices starting at s*slab_slices.
+template <class T>
+class InMemorySource final : public UnfoldingSource<T> {
+ public:
+  InMemorySource(const tensor::Tensor<T>& x, index_t slab_slices)
+      : x_(&x), slab_slices_(slab_slices) {
+    TUCKER_CHECK(x.order() >= 1, "InMemorySource: need at least one mode");
+    TUCKER_CHECK(slab_slices > 0,
+                 "InMemorySource: slab_slices must be positive");
+  }
+
+  const tensor::Dims& dims() const override { return x_->dims(); }
+  index_t num_slabs() const override {
+    const index_t last = x_->dims().back();
+    return last == 0 ? 0 : (last + slab_slices_ - 1) / slab_slices_;
+  }
+  index_t slab_begin(index_t s) const override { return s * slab_slices_; }
+  index_t slab_extent(index_t s) const override {
+    return std::min(slab_slices_, x_->dims().back() - slab_begin(s));
+  }
+  void read_slab(index_t s, tensor::Tensor<T>& out) override {
+    const index_t last = x_->dims().back();
+    const index_t slice_elems = last == 0 ? 0 : x_->size() / last;
+    tensor::Dims sdims = x_->dims();
+    sdims.back() = slab_extent(s);
+    out.reshape(sdims);
+    std::memcpy(out.data(), x_->data() + slab_begin(s) * slice_elems,
+                static_cast<std::size_t>(out.size()) * sizeof(T));
+  }
+
+ private:
+  const tensor::Tensor<T>* x_;
+  index_t slab_slices_;
+};
+
+/// Slab reader over the chunked on-disk format.
+template <class T>
+class FileSource final : public UnfoldingSource<T> {
+ public:
+  explicit FileSource(const std::string& path) : reader_(path) {}
+  explicit FileSource(io::ChunkedTensorReader<T> reader)
+      : reader_(std::move(reader)) {}
+
+  const tensor::Dims& dims() const override { return reader_.dims(); }
+  index_t num_slabs() const override { return reader_.num_slabs(); }
+  index_t slab_begin(index_t s) const override {
+    return reader_.slab_begin(s);
+  }
+  index_t slab_extent(index_t s) const override {
+    return reader_.slab_extent(s);
+  }
+  void read_slab(index_t s, tensor::Tensor<T>& out) override {
+    reader_.read_slab(s, out);
+  }
+
+ private:
+  io::ChunkedTensorReader<T> reader_;
+};
+
+/// Append-only in-memory stream: blocks of trailing-mode slices arrive
+/// over time and each becomes one slab. The slab grid is as-appended (slabs
+/// may have different extents), which the drivers handle uniformly.
+template <class T>
+class AppendStream final : public UnfoldingSource<T> {
+ public:
+  /// `slice_dims`: the dims of the stream with trailing extent 0 (nothing
+  /// appended yet).
+  explicit AppendStream(tensor::Dims slice_dims) : dims_(std::move(slice_dims)) {
+    TUCKER_CHECK(!dims_.empty(), "AppendStream: need at least one mode");
+    dims_.back() = 0;
+  }
+
+  /// Appends one block (same leading dims, any positive trailing extent).
+  void append(const tensor::Tensor<T>& block) {
+    TUCKER_CHECK(block.order() == dims_.size(),
+                 "AppendStream: block order mismatch");
+    for (std::size_t k = 0; k + 1 < dims_.size(); ++k)
+      TUCKER_CHECK(block.dim(k) == dims_[k],
+                   "AppendStream: block leading dims mismatch");
+    TUCKER_CHECK(block.dim(dims_.size() - 1) > 0,
+                 "AppendStream: empty block");
+    begins_.push_back(dims_.back());
+    dims_.back() += block.dim(dims_.size() - 1);
+    slabs_.push_back(block);
+  }
+
+  const tensor::Dims& dims() const override { return dims_; }
+  index_t num_slabs() const override {
+    return static_cast<index_t>(slabs_.size());
+  }
+  index_t slab_begin(index_t s) const override {
+    return begins_[static_cast<std::size_t>(s)];
+  }
+  index_t slab_extent(index_t s) const override {
+    return slabs_[static_cast<std::size_t>(s)].dim(dims_.size() - 1);
+  }
+  void read_slab(index_t s, tensor::Tensor<T>& out) override {
+    out = slabs_[static_cast<std::size_t>(s)];
+  }
+
+ private:
+  tensor::Dims dims_;
+  std::vector<tensor::Tensor<T>> slabs_;
+  std::vector<index_t> begins_;
+};
+
+/// Double-buffered slab prefetcher (one pass over a source, in order).
+/// next() hands out slab 0, 1, ... in turn; the returned reference stays
+/// valid until the following next() call. Exactly num_slabs() calls are
+/// allowed per pipeline.
+template <class T>
+class SlabPipeline {
+ public:
+  explicit SlabPipeline(UnfoldingSource<T>& src)
+      : src_(&src), total_(src.num_slabs()) {
+    if (total_ > 0) worker_ = std::thread([this] { run(); });
+  }
+
+  ~SlabPipeline() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      abort_ = true;
+    }
+    cv_.notify_all();
+    if (worker_.joinable()) worker_.join();
+  }
+
+  SlabPipeline(const SlabPipeline&) = delete;
+  SlabPipeline& operator=(const SlabPipeline&) = delete;
+
+  index_t total() const { return total_; }
+
+  tensor::Tensor<T>& next() {
+    std::unique_lock<std::mutex> lk(mu_);
+    TUCKER_CHECK(consumed_ < total_, "SlabPipeline: all slabs consumed");
+    const index_t k = consumed_;
+    ++consumed_;  // releases slab k-2's buffer for the producer
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return holds_[k % 2] == k; });
+    return buf_[k % 2];
+  }
+
+ private:
+  void run() {
+    for (index_t p = 0; p < total_; ++p) {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        // Buffer p%2 last held slab p-2; wait until the consumer is past
+        // it (p <= consumed_) or has never used it (p < 2).
+        cv_.wait(lk, [&] { return abort_ || p < 2 || p <= consumed_; });
+        if (abort_) return;
+      }
+      src_->read_slab(p, buf_[p % 2]);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        holds_[p % 2] = p;
+      }
+      cv_.notify_all();
+    }
+  }
+
+  UnfoldingSource<T>* src_;
+  index_t total_;
+  tensor::Tensor<T> buf_[2];
+  index_t holds_[2] = {-1, -1};
+  index_t consumed_ = 0;
+  bool abort_ = false;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread worker_;
+};
+
+}  // namespace tucker::stream

@@ -15,8 +15,9 @@
 //   tensor::  dense tensors, unfoldings, TTM, preprocessing
 //   dist::    processor grids, distributed tensors and kernels
 //   core::    ST-HOSVD (sequential + parallel), Tucker objects, extensions
+//   stream::  out-of-core / incremental drivers over slab sources
 //   data::    synthetic dataset generators
-//   io::      binary tensor / decomposition files
+//   io::      binary tensor / decomposition files (flat + chunked)
 
 #include "blas/blas1.hpp"
 #include "blas/gemm.hpp"
@@ -43,6 +44,7 @@
 #include "dist/par_preprocess.hpp"
 #include "dist/processor_grid.hpp"
 #include "dist/redistribute.hpp"
+#include "io/chunked_tensor_io.hpp"
 #include "io/dist_io.hpp"
 #include "io/tensor_io.hpp"
 #include "lapack/bidiag_svd.hpp"
@@ -53,6 +55,9 @@
 #include "lapack/tpqrt.hpp"
 #include "lapack/tridiag_eig.hpp"
 #include "simmpi/breakdown.hpp"
+#include "stream/hier_svd.hpp"
+#include "stream/stream_sthosvd.hpp"
+#include "stream/unfolding_source.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/cost_model.hpp"
 #include "simmpi/runtime.hpp"

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "core/sthosvd.hpp"
@@ -70,6 +71,46 @@ TEST(TensorIoDeathTest, GarbageFileRejected) {
   std::fwrite(junk, 1, sizeof junk, f);
   std::fclose(f);
   EXPECT_DEATH((void)io::read_tensor<double>(path), "tucker tensor file");
+  std::remove(path.c_str());
+}
+
+TEST(TensorIoTest, TryReadReportsShortFileWithByteCounts) {
+  auto x = data::random_tensor<double>({6, 5, 4}, 17);
+  const auto path = tmp_path("short.tkt");
+  io::write_tensor(path, x);
+
+  // Intact file: the checked reader agrees with the classic one.
+  auto ok = io::try_read_tensor<double>(path);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value.dims(), x.dims());
+
+  // Truncate the payload: typed kShortFile, with the expected/actual byte
+  // counts in the diagnosis instead of a garbage tensor.
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size - 100);
+  auto r = io::try_read_tensor<double>(path);
+  EXPECT_EQ(r.status, io::IoStatus::kShortFile);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.detail.find("bytes"), std::string::npos);
+  EXPECT_STREQ(io::io_status_name(r.status), "short-file");
+
+  // Cut into the dims header: still a typed error, not an abort.
+  std::filesystem::resize_file(path, 20);
+  auto r2 = io::try_read_tensor<double>(path);
+  EXPECT_EQ(r2.status, io::IoStatus::kShortFile);
+  std::remove(path.c_str());
+
+  auto missing = io::try_read_tensor<double>(path);
+  EXPECT_EQ(missing.status, io::IoStatus::kOpenFailed);
+}
+
+TEST(TensorIoDeathTest, TruncatedFileRejected) {
+  auto x = data::random_tensor<double>({6, 5, 4}, 18);
+  const auto path = tmp_path("short_abort.tkt");
+  io::write_tensor(path, x);
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 64);
+  EXPECT_DEATH((void)io::read_tensor<double>(path), "corrupt tensor file");
   std::remove(path.c_str());
 }
 

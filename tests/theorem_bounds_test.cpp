@@ -9,7 +9,9 @@
 #include "blas/blas1.hpp"
 #include "blas/gemm.hpp"
 #include "common/rng.hpp"
+#include "core/svd_engine.hpp"
 #include "data/synthetic_matrix.hpp"
+#include "data/synthetic_tensor.hpp"
 #include "lapack/bidiag_svd.hpp"
 #include "lapack/qr.hpp"
 #include "lapack/tridiag_eig.hpp"
@@ -209,6 +211,76 @@ TEST(Theorem2Test, LowRankResidualAmplification) {
   const double res_gram = residual(gram_left_vectors<float>(a, k));
   // Both leave at least the exact tail; Gram leaves meaningfully more.
   EXPECT_GT(res_gram, 2 * res_qr);
+}
+
+// ---- Theorem 1 for the hierarchical (streaming) engine -----------------
+//
+// The Iwen-Ong merge tree composes structured Householder QRs, so the
+// computed singular values must stay on the same eps*||A|| rung as the
+// direct QR path -- the merge depth only enters the constant. The
+// reference truth is the double-precision direct QR-SVD (trusted to
+// ~1e-14 by the tests above).
+
+TEST(Theorem1StreamTest, MergedTriangleSigmasStayOnEpsRung) {
+  auto x = data::tensor_with_spectra(
+      {14, 12, 16},
+      {data::DecayProfile::geometric(1.0, 1e-6),
+       data::DecayProfile::geometric(1.0, 1e-6),
+       data::DecayProfile::geometric(1.0, 1e-6)},
+      5501);
+  auto xf = data::round_tensor_to<float>(x);
+
+  for (std::size_t n = 0; n < 2; ++n) {
+    auto ref = core::qr_svd(x, n);  // double, single-chunk: the truth
+    std::vector<double> sigma(ref.sigma_sq.size());
+    for (std::size_t i = 0; i < sigma.size(); ++i)
+      sigma[i] = std::sqrt(static_cast<double>(ref.sigma_sq[i]));
+    const double smax = sigma[0];
+
+    for (index_t chunk : {1, 3, 5}) {
+      // Double: |~sigma_i - sigma_i| = O(eps_d ||A||), uniformly in i.
+      auto sd = core::stream_svd(x, n, chunk);
+      ASSERT_EQ(sd.sigma_sq.size(), sigma.size());
+      for (std::size_t i = 0; i < sigma.size(); ++i)
+        EXPECT_NEAR(std::sqrt(static_cast<double>(sd.sigma_sq[i])), sigma[i],
+                    100 * 2.2e-16 * smax)
+            << "mode " << n << " chunk " << chunk << " i " << i;
+
+      // Single: the same shape with eps_s -- absolute, not relative.
+      auto ss = core::stream_svd(xf, n, chunk);
+      ASSERT_EQ(ss.sigma_sq.size(), sigma.size());
+      for (std::size_t i = 0; i < sigma.size(); ++i)
+        EXPECT_NEAR(std::sqrt(static_cast<double>(ss.sigma_sq[i])), sigma[i],
+                    100 * 1.2e-7 * smax)
+            << "mode " << n << " chunk " << chunk << " i " << i;
+    }
+  }
+}
+
+TEST(Theorem1StreamTest, MergeDepthDoesNotErodeTheSubspace) {
+  // Leading-subspace angle after a deep merge (chunk = 1, 16 leaves) stays
+  // at the eps/gap rung of eq (3), like the direct QR path.
+  auto x = data::tensor_with_spectra(
+      {12, 10, 16},
+      {data::DecayProfile::geometric(1.0, 1e-5),
+       data::DecayProfile::geometric(1.0, 1e-5),
+       data::DecayProfile::geometric(1.0, 1e-5)},
+      5601);
+  const index_t k = 4;
+  auto ref = core::qr_svd(x, 0);
+  auto deep = core::stream_svd(x, 0, 1);
+  Matrix<double> uref(ref.u.rows(), k), udeep(deep.u.rows(), k);
+  blas::copy(MatView<const double>(ref.u.view().block(0, 0, ref.u.rows(), k)),
+             uref.view());
+  blas::copy(
+      MatView<const double>(deep.u.view().block(0, 0, deep.u.rows(), k)),
+      udeep.view());
+  // sqrt(1 - smin^2) cannot resolve angles below ~sqrt(2 eps_d) ~ 3e-8;
+  // asserting just above that floor still rules out any erosion toward
+  // the single-precision rung.
+  EXPECT_LT(max_principal_angle_sin(MatView<const double>(uref.view()),
+                                    MatView<const double>(udeep.view())),
+            1e-7);
 }
 
 }  // namespace

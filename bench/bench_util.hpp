@@ -122,6 +122,7 @@ struct CaseResult {
   double makespan = 0;       // simulated parallel time (s)
   double compute = 0;        // slowest rank compute (s)
   double comm = 0;           // slowest rank comm (s)
+  double comm_hidden = 0;    // slowest rank: comm hidden behind compute (s)
   double lq_gram = 0;        // slowest rank: LQ or Gram regions (s)
   double svd_evd = 0;        // slowest rank: SVD or EVD regions (s)
   double ttm = 0;            // slowest rank: TTM regions (s)
@@ -159,6 +160,7 @@ inline void aggregate_regions(const mpi::RankStats& slowest, CaseResult* r) {
   add(slowest.region_comm);
   r->compute = slowest.compute_seconds;
   r->comm = slowest.comm_seconds;
+  r->comm_hidden = slowest.comm_hidden;
 }
 
 /// Runs one (method, precision) variant of parallel ST-HOSVD on `input`
@@ -170,7 +172,8 @@ CaseResult run_case_typed(const tensor::Tensor<double>& input,
                           const Dims& grid_dims, const TruncationSpec& spec,
                           SvdMethod method,
                           const std::vector<std::size_t>& order,
-                          bool reference_error, mpi::CostModel model) {
+                          bool reference_error, mpi::CostModel model,
+                          core::OverlapOptions overlap = {}) {
   auto x = data::round_tensor_to<T>(input);
   CaseResult result;
   const int p = dist::ProcessorGrid(grid_dims).total();
@@ -182,7 +185,7 @@ CaseResult run_case_typed(const tensor::Tensor<double>& input,
         dt.fill_from(x);
         world.sync_cpu_clock();
         world.breakdown().set_region("other");
-        auto res = core::par_sthosvd(dt, spec, method, order);
+        auto res = core::par_sthosvd(dt, spec, method, order, {}, overlap);
         if (world.rank() == 0) {
           result.ranks = res.ranks;
           result.order = res.order;
@@ -224,12 +227,13 @@ inline CaseResult run_case(const tensor::Tensor<double>& input,
                            const Variant& variant,
                            const std::vector<std::size_t>& order,
                            bool reference_error = true,
-                           mpi::CostModel model = mpi::CostModel{}) {
+                           mpi::CostModel model = mpi::CostModel{},
+                           core::OverlapOptions overlap = {}) {
   return variant.single
              ? run_case_typed<float>(input, grid_dims, spec, variant.method,
-                                     order, reference_error, model)
+                                     order, reference_error, model, overlap)
              : run_case_typed<double>(input, grid_dims, spec, variant.method,
-                                      order, reference_error, model);
+                                      order, reference_error, model, overlap);
 }
 
 // -------------------------------------------------------------- printing

@@ -87,4 +87,25 @@ inline std::size_t stream_chunk_bytes() {
   return v;
 }
 
+/// Default for the overlapped distributed driver path (TUCKER_OVERLAP,
+/// 0/1). With the default mode window of 1 the overlapped schedule is
+/// bitwise-identical to the blocking one -- only the virtual-clock credit
+/// changes (see DESIGN.md Sec 12) -- so this knob never changes results by
+/// itself.
+inline bool overlap_default() {
+  static const bool v = detail::env_index("TUCKER_OVERLAP", 0, 0, 1) != 0;
+  return v;
+}
+
+/// Mode window of the overlapped randomized driver (TUCKER_MODE_WINDOW):
+/// how many modes sketch concurrently from the same window-source tensor.
+/// 1 reproduces sequential ST-HOSVD bitwise; >1 is the mode-parallel
+/// variant (Minster/Li/Ballard), which truncates later window members
+/// against a not-yet-truncated source -- deterministic, but a different
+/// (HOSVD-flavored) algorithm with its own accuracy contract.
+inline index_t mode_window_default() {
+  static const index_t v = detail::env_index("TUCKER_MODE_WINDOW", 1, 1, 64);
+  return v;
+}
+
 }  // namespace tucker::tune

@@ -7,9 +7,21 @@
 // distribution. Compute regions are tagged per mode ("mode2/LQ",
 // "mode2/SVD", "mode2/TTM") so the harness can print the paper's
 // time-breakdown plots from the slowest rank.
+//
+// OverlapOptions::enabled switches to the overlapped schedule: piecewise
+// nonblocking Gram allreduces, the direct-exchange TTM reduce-scatter, and
+// -- for SvdMethod::kRand -- windowed mode-parallel sketching where up to
+// mode_window modes dispatch their sketch reductions before any of them
+// finalizes, with the finalize order picked by a replicated
+// modeled-readiness schedule (the PR 5 greedy cost order decides window
+// membership; the cost model decides who inside a window goes first).
+// With mode_window == 1 every method's overlapped results are
+// bitwise-identical to the blocking schedule.
 
+#include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/sthosvd.hpp"
@@ -26,6 +38,8 @@ struct ParSthosvdResult {
   /// Per-mode computed singular values (replicated).
   std::vector<std::vector<T>> mode_sigmas;
   std::vector<blas::index_t> ranks;
+  /// Modes in the order they were actually processed (the windowed
+  /// scheduler may finalize within a window out of dispatch order).
   std::vector<std::size_t> order;
   double norm_squared = 0;
 
@@ -52,13 +66,75 @@ struct ParSthosvdResult {
   }
 };
 
+namespace detail {
+
+/// Replicated modeled-readiness schedule of a sketch window: dispatch i's
+/// slice reduction is modeled to complete after the (serialized) sketch
+/// compute of dispatches 0..i plus its own allreduce; finalize in
+/// ascending completion order, ties by dispatch order. Every input is a
+/// global quantity (dims, grid, cost model), so all ranks compute the
+/// identical schedule without communicating -- measured times would make
+/// the schedule, and therefore the collective order, rank-dependent.
+template <class T>
+std::vector<std::size_t> sketch_finalize_schedule(
+    const dist::DistTensor<T>& ysrc, const std::vector<std::size_t>& order,
+    std::size_t pos, std::size_t nwin, const TruncationSpec& spec,
+    const RandSvdOptions& ropt) {
+  const mpi::CostModel& model = ysrc.world().model();
+  const auto np = static_cast<double>(ysrc.world().size());
+  std::vector<std::pair<double, std::size_t>> ready(nwin);
+  double t = 0;
+  for (std::size_t i = 0; i < nwin; ++i) {
+    const std::size_t n = order[pos + i];
+    const index_t m = ysrc.global_dim(n);
+    index_t cols = 1;
+    for (std::size_t k = 0; k < ysrc.order(); ++k)
+      if (k != n) cols *= ysrc.global_dim(k);
+    if (m == 0 || cols == 0) {
+      ready[i] = {t, i};
+      continue;
+    }
+    const index_t cap = std::min(m, cols);
+    const index_t os = std::max<index_t>(ropt.oversample, 0);
+    index_t w;
+    if (spec.is_fixed_rank()) {
+      w = std::min(cap, spec.ranks[n] + os);
+    } else {
+      const index_t guess =
+          ropt.rank_guess > 0 ? ropt.rank_guess : std::max<index_t>(8, m / 8);
+      w = std::min(cap, guess + os);
+    }
+    w = std::max<index_t>(w, 1);
+    t += static_cast<double>(flops::gaussian_sketch(m, cols, w)) /
+         (np * model.flop_rate);
+    const index_t pn = ysrc.grid().dim(n);
+    const index_t mloc = (m + pn - 1) / pn;
+    const auto bytes = static_cast<std::int64_t>(
+        mloc * w * static_cast<index_t>(sizeof(T)));
+    const int pslice = std::max(1, ysrc.world().size() / static_cast<int>(pn));
+    ready[i] = {t + model.allreduce_cost(pslice, bytes), i};
+  }
+  std::stable_sort(ready.begin(), ready.end(),
+                   [](const std::pair<double, std::size_t>& a,
+                      const std::pair<double, std::size_t>& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<std::size_t> sched(nwin);
+  for (std::size_t i = 0; i < nwin; ++i) sched[i] = ready[i].second;
+  return sched;
+}
+
+}  // namespace detail
+
 /// Collective over x.world(). `order` empty = forward. `ropt` configures
-/// the randomized engine (ignored by Gram/QR).
+/// the randomized engine (ignored by Gram/QR); `ov` the overlapped
+/// schedule (see OverlapOptions).
 template <class T>
 ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
                                 const TruncationSpec& spec, SvdMethod method,
                                 std::vector<std::size_t> order = {},
-                                const RandSvdOptions& ropt = {}) {
+                                const RandSvdOptions& ropt = {},
+                                const OverlapOptions& ov = {}) {
   const std::size_t nmodes = x.order();
   mpi::Comm& world = x.world();
   if (order.empty()) order = forward_order(nmodes);
@@ -67,6 +143,11 @@ ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
   if (spec.is_fixed_rank())
     TUCKER_CHECK(spec.ranks.size() == nmodes,
                  "par_sthosvd: fixed-rank spec needs one rank per mode");
+  const bool overlap = ov.enabled;
+  const std::size_t window =
+      (overlap && method == SvdMethod::kRand)
+          ? static_cast<std::size_t>(std::max<index_t>(1, ov.mode_window))
+          : 1;
 
   double norm_sq;
   {
@@ -78,23 +159,106 @@ ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
                            : spec.epsilon * spec.epsilon * norm_sq /
                                  static_cast<double>(nmodes);
 
-  // The truncation chain ping-pongs between two data-less clones: mode k
-  // reads the output of mode k-1, so each slot's local allocation is reused
-  // every other mode and the input is never copied.
-  dist::DistTensor<T> s0 = x.empty_clone();
-  dist::DistTensor<T> s1 = x.empty_clone();
-  dist::DistTensor<T>* slots[2] = {&s0, &s1};
+  // The truncation chain cycles through data-less clones of the input so
+  // each slot's local allocation is reused and the input is never copied.
+  // Two slots ping-pong in the mode-serial schedule; the windowed schedule
+  // needs a third so the frozen window-source tensor stays intact while
+  // the chain advances past it (an unused slot never allocates).
+  std::vector<dist::DistTensor<T>> slots;
+  slots.reserve(3);
+  for (int s = 0; s < 3; ++s) slots.push_back(x.empty_clone());
   const dist::DistTensor<T>* ycur = &x;
-  int slot = 0;
+  int cur = -1;  // slot index holding *ycur; -1 = the input
+  auto next_slot = [](int cur_slot, int frozen_slot) {
+    for (int s = 0; s < 3; ++s)
+      if (s != cur_slot && s != frozen_slot) return s;
+    return 0;  // unreachable: three slots, two exclusions
+  };
+
   std::vector<blas::Matrix<T>> factors(nmodes);
   std::vector<std::vector<T>> mode_sigmas(nmodes);
   std::vector<blas::index_t> ranks(nmodes, 0);
+  std::vector<std::size_t> actual_order;
+  actual_order.reserve(nmodes);
 
-  for (std::size_t pos = 0; pos < nmodes; ++pos) {
-    const std::size_t n = order[pos];
+  // Truncates *ycur along mode n by the leading r columns of u and
+  // advances the chain, keeping slot `frozen` untouched.
+  auto truncate_mode = [&](std::size_t n, const blas::Matrix<T>& u,
+                           blas::index_t r, int frozen,
+                           const std::string& label) {
+    const index_t m = ycur->global_dim(n);
+    blas::Matrix<T> un(m, r);
+    blas::copy(blas::MatView<const T>(u.view().block(0, 0, m, r)), un.view());
+    const int dst = next_slot(cur, frozen);
+    {
+      auto rg = world.region(label + "/TTM");
+      dist::par_ttm_truncate_into(*ycur, n, blas::MatView<const T>(un.view()),
+                                  slots[static_cast<std::size_t>(dst)],
+                                  overlap);
+      world.sync_cpu_clock();
+    }
+    ycur = &slots[static_cast<std::size_t>(dst)];
+    cur = dst;
+    factors[n] = std::move(un);
+    actual_order.push_back(n);
+  };
+
+  std::size_t pos = 0;
+  while (pos < nmodes) {
+    if (overlap && method == SvdMethod::kRand) {
+      // Windowed mode-parallel sketching: dispatch the next `nwin` modes'
+      // sketch reductions from the frozen window source, then finalize in
+      // modeled-readiness order, truncating the chain as each mode lands.
+      // nwin == 1 issues the exact collective sequence of the blocking
+      // path (bitwise-identical results); nwin > 1 sketches later window
+      // members against the not-yet-truncated source (the mode-parallel
+      // randomized variant).
+      const std::size_t nwin = std::min(window, nmodes - pos);
+      const dist::DistTensor<T>& ysrc = *ycur;
+      const int src_slot = cur;
+      // One norm allreduce for the whole window: every member sketches the
+      // same frozen source, and a per-dispatch blocking allreduce would
+      // serialize the posted sketch reductions.
+      double src_norm_sq;
+      {
+        auto rg = world.region("norm");
+        src_norm_sq = ysrc.norm_squared();
+      }
+      std::vector<dist::ModeSketchState<T>> sk(nwin);
+      for (std::size_t i = 0; i < nwin; ++i) {
+        const std::size_t n = order[pos + i];
+        dist::dispatch_mode_sketch(
+            ysrc, n, spec.is_fixed_rank() ? spec.ranks[n] : index_t{0},
+            threshold_sq, ropt.oversample, ropt.power_iters, ropt.seed,
+            ropt.rank_guess, "mode" + std::to_string(n), /*nonblocking=*/true,
+            sk[i], &src_norm_sq);
+      }
+      const std::vector<std::size_t> sched =
+          detail::sketch_finalize_schedule(ysrc, order, pos, nwin, spec, ropt);
+      for (std::size_t i : sched) {
+        const std::size_t n = order[pos + i];
+        const std::string label = "mode" + std::to_string(n);
+        auto basis = dist::finalize_mode_sketch(ysrc, sk[i]);
+        mode_sigmas[n].resize(basis.sigma_sq.size());
+        for (std::size_t j = 0; j < basis.sigma_sq.size(); ++j)
+          mode_sigmas[n][j] = std::sqrt(basis.sigma_sq[j]);
+        blas::index_t r;
+        if (spec.is_fixed_rank()) {
+          r = std::min(spec.ranks[n], basis.u.cols());
+        } else {
+          r = std::min(select_rank(basis.sigma_sq, threshold_sq),
+                       basis.u.cols());
+        }
+        ranks[n] = r;
+        truncate_mode(n, basis.u, r, src_slot, label);
+      }
+      pos += nwin;
+      continue;
+    }
+
+    const std::size_t n = order[pos++];
     const std::string label = "mode" + std::to_string(n);
     const dist::DistTensor<T>& y = *ycur;
-    const index_t m = y.global_dim(n);
 
     // SVD of the unfolding: squared singular values + left vectors,
     // identical on every rank.
@@ -104,7 +268,7 @@ ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
       blas::Matrix<T> g(0, 0);
       {
         auto rg = world.region(label + "/Gram");
-        g = dist::par_gram(y, n);
+        g = dist::par_gram(y, n, overlap ? ov.gram_pieces : index_t{1});
       }
       auto rg = world.region(label + "/EVD");
       auto eig = la::tridiag_eig(blas::MatView<const T>(g.view()));
@@ -150,38 +314,29 @@ ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
       r = std::min(select_rank(sigma_sq, threshold_sq), u.cols());
     }
     ranks[n] = r;
-
-    blas::Matrix<T> un(m, r);
-    blas::copy(blas::MatView<const T>(u.view().block(0, 0, m, r)), un.view());
-    {
-      auto rg = world.region(label + "/TTM");
-      dist::par_ttm_truncate_into(y, n, blas::MatView<const T>(un.view()),
-                                  *slots[slot]);
-      world.sync_cpu_clock();
-    }
-    ycur = slots[slot];
-    slot ^= 1;
-    factors[n] = std::move(un);
+    truncate_mode(n, u, r, /*frozen=*/-1, label);
   }
 
   dist::DistTensor<T> core =
-      ycur == &x ? x.clone() : std::move(*slots[slot ^ 1]);
+      ycur == &x ? x.clone()
+                 : std::move(slots[static_cast<std::size_t>(cur)]);
   return ParSthosvdResult<T>{std::move(factors), std::move(core),
                              std::move(mode_sigmas), std::move(ranks),
-                             std::move(order), norm_sq};
+                             std::move(actual_order), norm_sq};
 }
 
 /// Options-struct entry point: resolves the mode order from the *global*
 /// dimensions with the same resolve_order as the sequential driver, so a
 /// sequential run and a simmpi run of the same problem always process
-/// modes in the same order (auto_order included).
+/// modes in the same order (auto_order included). Overlap options ride
+/// along (SthosvdOptions::overlap).
 template <class T>
 ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
                                 const TruncationSpec& spec, SvdMethod method,
                                 const SthosvdOptions& opt) {
   return par_sthosvd(x, spec, method,
                      resolve_order(x.global_dims(), spec, method, opt),
-                     opt.rand);
+                     opt.rand, opt.overlap);
 }
 
 }  // namespace tucker::core

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -319,8 +320,16 @@ class GlobalColMap {
 /// Gram matrix of the global mode-n unfolding, replicated on every rank:
 /// local syrk (after fiber redistribution when P_n > 1) plus a world
 /// allreduce. This is TuckerMPI's kernel; its cost is n*m^2 local flops.
+///
+/// `pieces` > 1 splits the m*m allreduce into that many row-chunks posted
+/// as nonblocking iallreduces and waited together: each element still
+/// travels the identical binomial tree in the identical summation order
+/// (bitwise-identical result), but the chunks' trees pipeline through the
+/// injection pipe instead of serializing round by round, shortening the
+/// modeled critical path at large P.
 template <class T>
-blas::Matrix<T> par_gram(const DistTensor<T>& y, std::size_t n) {
+blas::Matrix<T> par_gram(const DistTensor<T>& y, std::size_t n,
+                         index_t pieces = 1) {
   const index_t m = y.global_dim(n);
   blas::Matrix<T> g(m, m);
   if (y.grid().dim(n) == 1) {
@@ -331,7 +340,21 @@ blas::Matrix<T> par_gram(const DistTensor<T>& y, std::size_t n) {
       blas::syrk(T(1), static_cast<blas::MatView<const T>>(z.view()), T(0),
                  g.view());
   }
-  y.world().allreduce(g.data(), m * m, mpi::Op::kSum);
+  pieces = std::max<index_t>(1, std::min(pieces, std::max<index_t>(m, 1)));
+  if (pieces <= 1) {
+    y.world().allreduce(g.data(), m * m, mpi::Op::kSum);
+  } else {
+    std::vector<mpi::Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(pieces));
+    for (index_t i = 0; i < pieces; ++i) {
+      const index_t r0 = i * m / pieces;
+      const index_t r1 = (i + 1) * m / pieces;
+      if (r1 > r0)
+        reqs.push_back(y.world().iallreduce(g.data() + r0 * m, (r1 - r0) * m,
+                                            mpi::Op::kSum));
+    }
+    mpi::Comm::waitall(reqs);
+  }
   y.world().sync_cpu_clock();  // attribute trailing compute to this region
   return g;
 }
@@ -373,9 +396,14 @@ blas::Matrix<T> par_tensor_lq(const DistTensor<T>& y, std::size_t n) {
 /// R). `out` must share x's grid (an empty_clone or a previous output) and
 /// is re-dimensioned in place, so cycling the same out through repeated
 /// truncations reuses its local allocation.
+///
+/// `overlap` selects the direct-exchange reduce-scatter (bitwise-identical
+/// fold order, pipelined sends -- see Comm::reduce_scatter) for the fiber
+/// reduction.
 template <class T>
 void par_ttm_truncate_into(const DistTensor<T>& x, std::size_t n,
-                           blas::MatView<const T> u, DistTensor<T>& out) {
+                           blas::MatView<const T> u, DistTensor<T>& out,
+                           bool overlap = false) {
   TUCKER_CHECK(u.rows() == x.global_dim(n), "par_ttm: U row mismatch");
   TUCKER_CHECK(&x != &out, "par_ttm: x and out must be distinct");
   const index_t r = u.cols();
@@ -417,7 +445,7 @@ void par_ttm_truncate_into(const DistTensor<T>& x, std::size_t n,
         }
       }
     }
-    fiber.reduce_scatter(sendbuf.data(), out.local().data(), counts);
+    fiber.reduce_scatter(sendbuf.data(), out.local().data(), counts, overlap);
     return;
   }
 
@@ -452,10 +480,11 @@ struct ParSvdBasis {
   blas::Matrix<T> u;
 };
 
-/// Distributed randomized range-finder SVD of the global mode-n unfolding
-/// (the parallel twin of core::rand_svd; same sketch algebra, same
-/// adaptive-oversampling loop, same trailing-residual convention).
-///
+// The distributed randomized range-finder SVD is split into a dispatch
+// half (sketch + slice reduction) and a finalize half (everything after),
+// so the mode-parallel driver can keep several modes' sketches in flight;
+// par_rand_svd composes the two for the classic blocking call.
+//
 /// Communication pattern per round:
 ///  - Sketch: each rank multiplies its owned slab of the unfolding by its
 ///    rows of the global Omega (drawn locally via detail::GlobalColMap), and
@@ -477,51 +506,140 @@ struct ParSvdBasis {
 /// local kernel thread-invariant). Across *different* grids the allreduce
 /// summation order differs, so results match the sequential engine only to
 /// rounding -- the same contract as par_gram / par_tensor_lq.
-///
-/// Compute regions are tagged label+"/Sketch" (sketch, power iterations,
-/// TSQR) and label+"/SVD" (projected Gram, eigensolve, basis assembly).
+
+/// In-flight state of one mode's dispatched sketch: everything
+/// finalize_mode_sketch needs to resume where dispatch_mode_sketch left
+/// off. One of these is alive per window slot in the mode-parallel driver,
+/// so the first-round sketch slab is a plain vector (the Workspace arena's
+/// stack discipline cannot hold several interleaved lifetimes).
 template <class T>
-ParSvdBasis<T> par_rand_svd(const DistTensor<T>& y, std::size_t n,
-                            index_t fixed_rank, double threshold_sq,
-                            index_t oversample, int power_iters,
-                            std::uint64_t seed, index_t rank_guess,
-                            const std::string& label) {
+struct ModeSketchState {
+  std::size_t mode = 0;
+  std::string label;
+  // Engine/truncation parameters captured at dispatch.
+  index_t fixed_rank = 0;
+  double threshold_sq = 0;
+  index_t oversample = 0;
+  int power_iters = 0;
+  // Geometry of the dispatch-time source tensor.
+  index_t m = 0, mloc = 0, cols_glob = 0, cols_loc = 0, cap = 0, rows_lo = 0;
+  bool empty = false;
+  index_t w = 0;  // first-round sketch width
+  double norm_sq = 0;
+  std::uint64_t stream = 0;
+  std::optional<detail::GlobalColMap> colmap;
+  std::optional<mpi::Comm> slice;
+  std::vector<T> snew;  // mloc x w first-round sketch slab (reduced)
+  mpi::Request req;     // pending slice iallreduce (nonblocking dispatch)
+};
+
+/// Dispatch half of par_rand_svd: creates the slice communicator, draws
+/// the first-round sketch columns of the mode-n unfolding and starts their
+/// slice reduction -- as an iallreduce when `nonblocking` (the buffer is
+/// already reduced on return; its modeled time is credited when
+/// finalize_mode_sketch waits the request), or as the classic blocking
+/// allreduce otherwise. Collective over y.world() either way, so the
+/// mode-parallel driver must dispatch window modes in the same order on
+/// every rank.
+///
+/// `known_norm_sq` short-circuits the ||Y||^2 allreduce when the caller
+/// already holds it: a window of dispatches shares one frozen source, so
+/// the driver computes the norm once and passes it to every member --
+/// otherwise the per-dispatch blocking allreduce would serialize the very
+/// reductions the window is trying to overlap. The value is identical
+/// either way (same tensor), so results are unchanged bitwise.
+template <class T>
+void dispatch_mode_sketch(const DistTensor<T>& y, std::size_t n,
+                          index_t fixed_rank, double threshold_sq,
+                          index_t oversample, int power_iters,
+                          std::uint64_t seed, index_t rank_guess,
+                          const std::string& label, bool nonblocking,
+                          ModeSketchState<T>& st,
+                          const double* known_norm_sq = nullptr) {
   mpi::Comm& world = y.world();
-  mpi::Comm& fiber = y.fiber_comm(n);
+  st.mode = n;
+  st.label = label;
+  st.fixed_rank = fixed_rank;
+  st.threshold_sq = threshold_sq;
+  st.oversample = oversample;
+  st.power_iters = power_iters;
   // Ranks sharing my mode-n coordinate hold the same rows of the unfolding
   // but different column sets: their partials sum over this communicator.
-  mpi::Comm slice =
-      world.split(static_cast<int>(y.coords()[n]), world.rank());
+  st.slice.emplace(
+      world.split(static_cast<int>(y.coords()[n]), world.rank()));
 
-  const index_t m = y.global_dim(n);
-  index_t cols_glob = 1;
+  st.m = y.global_dim(n);
+  st.cols_glob = 1;
   for (std::size_t k = 0; k < y.order(); ++k)
-    if (k != n) cols_glob *= y.global_dim(k);
-  ParSvdBasis<T> out;
-  if (m == 0 || cols_glob == 0) {
-    out.u = blas::Matrix<T>(m, 0);
-    return out;
+    if (k != n) st.cols_glob *= y.global_dim(k);
+  if (st.m == 0 || st.cols_glob == 0) {
+    st.empty = true;
+    return;
   }
   const Range rows = y.mode_range(n);
-  const index_t mloc = rows.size();
-  const index_t cols_loc = tensor::prod_before(y.local().dims(), n) *
-                           tensor::prod_after(y.local().dims(), n);
-  const index_t cap = std::min(m, cols_glob);
+  st.rows_lo = rows.lo;
+  st.mloc = rows.size();
+  st.cols_loc = tensor::prod_before(y.local().dims(), n) *
+                tensor::prod_after(y.local().dims(), n);
+  st.cap = std::min(st.m, st.cols_glob);
   const index_t p = std::max<index_t>(oversample, 0);
-  const bool fixed = fixed_rank > 0;
   index_t w;
-  if (fixed) {
-    w = std::min(cap, fixed_rank + p);
+  if (fixed_rank > 0) {
+    w = std::min(st.cap, fixed_rank + p);
   } else {
     const index_t guess =
-        rank_guess > 0 ? rank_guess : std::max<index_t>(8, m / 8);
-    w = std::min(cap, guess + p);
+        rank_guess > 0 ? rank_guess : std::max<index_t>(8, st.m / 8);
+    w = std::min(st.cap, guess + p);
   }
-  w = std::max<index_t>(w, 1);
+  st.w = std::max<index_t>(w, 1);
 
-  const double norm_sq = y.norm_squared();
-  const std::uint64_t stream = substream(seed, n);
-  const detail::GlobalColMap colmap(y, n);
+  st.norm_sq = known_norm_sq ? *known_norm_sq : y.norm_squared();
+  st.stream = substream(seed, n);
+  st.colmap.emplace(y, n);
+
+  auto rg = world.region(label + "/Sketch");
+  st.snew.assign(
+      static_cast<std::size_t>(std::max<index_t>(st.mloc, 1) * st.w), T(0));
+  auto snew = blas::MatView<T>::row_major(st.snew.data(), st.mloc, st.w);
+  tensor::sketch_unfolding_cols(y.local(), n, st.stream, 0, st.w, *st.colmap,
+                                snew);
+  if (nonblocking)
+    st.req =
+        st.slice->iallreduce(st.snew.data(), st.mloc * st.w, mpi::Op::kSum);
+  else
+    st.slice->allreduce(st.snew.data(), st.mloc * st.w, mpi::Op::kSum);
+  world.sync_cpu_clock();
+}
+
+/// Finalize half of par_rand_svd: waits the dispatched sketch reduction,
+/// then runs the power iterations, TSQR orthonormalization, projected
+/// spectrum and (in tolerance mode) the adaptive width-doubling rounds --
+/// all against the SAME tensor the sketch was dispatched from. The
+/// collective sequence is identical to the historic single-call
+/// par_rand_svd, so dispatch+finalize back to back is bitwise-identical
+/// to it (and to itself across thread widths and reruns).
+template <class T>
+ParSvdBasis<T> finalize_mode_sketch(const DistTensor<T>& y,
+                                    ModeSketchState<T>& st) {
+  mpi::Comm& world = y.world();
+  ParSvdBasis<T> out;
+  if (st.empty) {
+    out.u = blas::Matrix<T>(st.m, 0);
+    return out;
+  }
+  mpi::Comm& fiber = y.fiber_comm(st.mode);
+  mpi::Comm& slice = *st.slice;
+  const std::size_t n = st.mode;
+  const std::string& label = st.label;
+  const index_t m = st.m;
+  const index_t mloc = st.mloc;
+  const index_t cols_loc = st.cols_loc;
+  const index_t cap = st.cap;
+  const index_t p = std::max<index_t>(st.oversample, 0);
+  const bool fixed = st.fixed_rank > 0;
+  const double norm_sq = st.norm_sq;
+  const double threshold_sq = st.threshold_sq;
+  index_t w = st.w;
 
   Workspace& ws = Workspace::local();
   auto arena = ws.frame();
@@ -536,6 +654,7 @@ ParSvdBasis<T> par_rand_svd(const DistTensor<T>& y, std::size_t n,
       ws.get<T>(static_cast<std::size_t>(std::max<index_t>(mloc, 1) * cap));
 
   index_t wprev = 0;
+  bool first_round = true;
   for (;;) {
     std::vector<T> sigma_sq;
     blas::Matrix<T> v;
@@ -543,7 +662,16 @@ ParSvdBasis<T> par_rand_svd(const DistTensor<T>& y, std::size_t n,
     {
       auto rg = world.region(label + "/Sketch");
       const index_t wnew = w - wprev;
-      {
+      if (first_round) {
+        // Land the dispatched first-round sketch: wait its in-flight
+        // reduction (a no-op after a blocking dispatch) and append.
+        st.req.wait();
+        if (mloc > 0)
+          blas::copy(
+              blas::MatView<const T>::row_major(st.snew.data(), mloc, w),
+              sall.block(0, 0, mloc, w));
+        first_round = false;
+      } else {
         // New Omega columns: local partial sketch (contiguous so the
         // collective can sum it), slice allreduce, append to the slab.
         auto scratch = ws.frame();
@@ -551,8 +679,8 @@ ParSvdBasis<T> par_rand_svd(const DistTensor<T>& y, std::size_t n,
             ws.get<T>(static_cast<std::size_t>(std::max<index_t>(mloc, 1) *
                                                wnew)),
             mloc, wnew);
-        tensor::sketch_unfolding_cols(y.local(), n, stream, wprev, w, colmap,
-                                      snew);
+        tensor::sketch_unfolding_cols(y.local(), n, st.stream, wprev, w,
+                                      *st.colmap, snew);
         slice.allreduce(snew.data(), mloc * wnew, mpi::Op::kSum);
         if (mloc > 0)
           blas::copy(blas::MatView<const T>(snew),
@@ -561,7 +689,7 @@ ParSvdBasis<T> par_rand_svd(const DistTensor<T>& y, std::size_t n,
       auto wv = blas::MatView<T>::row_major(wdata, mloc, w);
       if (mloc > 0)
         blas::copy(blas::MatView<const T>(sall.block(0, 0, mloc, w)), wv);
-      for (int it = 0; it < power_iters; ++it) {
+      for (int it = 0; it < st.power_iters; ++it) {
         detail::tsqr_orthonormalize(wv, fiber, qv);
         auto scratch = ws.frame();
         auto z = blas::MatView<T>::row_major(
@@ -642,7 +770,7 @@ ParSvdBasis<T> par_rand_svd(const DistTensor<T>& y, std::size_t n,
       if (mloc > 0 && slice.rank() == 0) {
         blas::gemm(T(1), blas::MatView<const T>(qv),
                    blas::MatView<const T>(v.view()), T(0),
-                   out.u.view().block(rows.lo, 0, mloc, w));
+                   out.u.view().block(st.rows_lo, 0, mloc, w));
       }
       world.allreduce(out.u.data(), m * w, mpi::Op::kSum);
       world.sync_cpu_clock();
@@ -651,6 +779,28 @@ ParSvdBasis<T> par_rand_svd(const DistTensor<T>& y, std::size_t n,
     wprev = w;
     w = std::min(cap, 2 * w);
   }
+}
+
+/// Distributed randomized range-finder SVD of the global mode-n unfolding
+/// (the parallel twin of core::rand_svd; same sketch algebra, same
+/// adaptive-oversampling loop, same trailing-residual convention): a
+/// blocking dispatch_mode_sketch immediately finalized. See those two for
+/// the communication pattern; the determinism contract is unchanged --
+/// Omega is grid/thread-invariant, every collective bitwise-replicated,
+/// results bitwise-identical run to run and across TUCKER_NUM_THREADS for
+/// a fixed grid. Compute regions are tagged label+"/Sketch" and
+/// label+"/SVD".
+template <class T>
+ParSvdBasis<T> par_rand_svd(const DistTensor<T>& y, std::size_t n,
+                            index_t fixed_rank, double threshold_sq,
+                            index_t oversample, int power_iters,
+                            std::uint64_t seed, index_t rank_guess,
+                            const std::string& label) {
+  ModeSketchState<T> st;
+  dispatch_mode_sketch(y, n, fixed_rank, threshold_sq, oversample,
+                       power_iters, seed, rank_guess, label,
+                       /*nonblocking=*/false, st);
+  return finalize_mode_sketch(y, st);
 }
 
 }  // namespace tucker::dist

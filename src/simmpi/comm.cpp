@@ -1,6 +1,7 @@
 #include "simmpi/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -17,6 +18,8 @@ std::int64_t Comm::next_coll_tag() {
   return -((++coll_seq_) << 8);
 }
 
+const CostModel& Comm::model() const { return world_->model(); }
+
 void Comm::sync_cpu_clock() {
   RankState& st = world_->state(group_[static_cast<std::size_t>(rank_)]);
   const double now = st.cpu_timer.seconds();
@@ -30,6 +33,10 @@ void Comm::sync_cpu_clock() {
 
 double Comm::vtime() const {
   return world_->state(group_[static_cast<std::size_t>(rank_)]).vtime;
+}
+
+double Comm::comm_hidden() const {
+  return world_->state(group_[static_cast<std::size_t>(rank_)]).overlap_hidden;
 }
 
 RegionScope Comm::region(std::string name) {
@@ -58,9 +65,15 @@ void Comm::send_bytes(int dst, std::int64_t tag, const void* data,
   const int dst_world = group_[static_cast<std::size_t>(dst)];
   RankState& st = world_->state(me_world);
 
-  const double cost = world_->model().message_cost(bytes);
-  st.vtime += cost;
-  st.breakdown.charge_comm(cost);
+  // Posted ops run on their shadow clock; blocking ops on the rank clock.
+  double* clk = st.alt_clock ? st.alt_clock : &st.vtime;
+  // Injection serialization: this message cannot enter the wire before the
+  // rank's previously injected message (blocking or in flight) has left.
+  const double start = std::max(*clk, st.inject_busy_until);
+  const double done = start + world_->model().message_cost(bytes);
+  if (!st.alt_clock) st.breakdown.charge_comm(done - *clk);
+  *clk = done;
+  st.inject_busy_until = done;
   st.bytes_sent += bytes;
   st.messages_sent += 1;
 
@@ -70,7 +83,7 @@ void Comm::send_bytes(int dst, std::int64_t tag, const void* data,
   mail.tag = tag;
   mail.bytes.resize(static_cast<std::size_t>(bytes));
   if (bytes > 0) std::memcpy(mail.bytes.data(), data, static_cast<std::size_t>(bytes));
-  mail.ready_vtime = st.vtime;
+  mail.ready_vtime = done;
 
   Mailbox& box = world_->box(dst_world);
   {
@@ -80,13 +93,10 @@ void Comm::send_bytes(int dst, std::int64_t tag, const void* data,
   box.cv.notify_all();
 }
 
-void Comm::recv_bytes(int src, std::int64_t tag, void* data,
-                      std::int64_t bytes) {
-  TUCKER_CHECK(src >= 0 && src < size(), "recv: source out of range");
-  sync_cpu_clock();
+bool Comm::match_recv(int src_world, std::int64_t tag, void* data,
+                      std::int64_t bytes, bool nonblocking,
+                      double* ready_vtime) {
   const int me_world = group_[static_cast<std::size_t>(rank_)];
-  const int src_world = group_[static_cast<std::size_t>(src)];
-  RankState& st = world_->state(me_world);
   Mailbox& box = world_->box(me_world);
 
   Mail mail;
@@ -98,8 +108,23 @@ void Comm::recv_bytes(int src, std::int64_t tag, void* data,
           return it;
       return box.queue.end();
     };
-    std::list<Mail>::iterator it;
-    box.cv.wait(lk, [&] { return (it = match()) != box.queue.end(); });
+    std::list<Mail>::iterator it = match();
+    if (it == box.queue.end()) {
+      if (nonblocking) return false;
+      if (world_->watchdog_enabled()) {
+        // Register what we are stuck on, then poll: deliveries only happen
+        // from running ranks, so once every rank is registered the world
+        // can no longer make progress and the watchdog fires.
+        world_->watchdog_block(me_world, BlockedOp{src_world, ctx_, tag, bytes});
+        while ((it = match()) == box.queue.end()) {
+          box.cv.wait_for(lk, std::chrono::milliseconds(20));
+          world_->watchdog_poll();
+        }
+        world_->watchdog_unblock(me_world);
+      } else {
+        box.cv.wait(lk, [&] { return (it = match()) != box.queue.end(); });
+      }
+    }
     mail = std::move(*it);
     box.queue.erase(it);
   }
@@ -107,13 +132,135 @@ void Comm::recv_bytes(int src, std::int64_t tag, void* data,
                "recv: message size mismatch");
   if (bytes > 0)
     std::memcpy(data, mail.bytes.data(), static_cast<std::size_t>(bytes));
+  *ready_vtime = mail.ready_vtime;
+  return true;
+}
+
+void Comm::recv_bytes(int src, std::int64_t tag, void* data,
+                      std::int64_t bytes) {
+  TUCKER_CHECK(src >= 0 && src < size(), "recv: source out of range");
+  sync_cpu_clock();
+  const int src_world = group_[static_cast<std::size_t>(src)];
+  double ready = 0;
+  match_recv(src_world, tag, data, bytes, /*nonblocking=*/false, &ready);
 
   // The message is usable once the sender's (virtual) transfer completes;
   // an early receiver idles until then.
-  if (mail.ready_vtime > st.vtime) {
-    st.breakdown.charge_comm(mail.ready_vtime - st.vtime);
-    st.vtime = mail.ready_vtime;
+  RankState& st = world_->state(group_[static_cast<std::size_t>(rank_)]);
+  double* clk = st.alt_clock ? st.alt_clock : &st.vtime;
+  if (ready > *clk) {
+    if (!st.alt_clock) st.breakdown.charge_comm(ready - *clk);
+    *clk = ready;
   }
+}
+
+Request Comm::isend_bytes(int dst, std::int64_t tag, const void* data,
+                          std::int64_t bytes) {
+  sync_cpu_clock();
+  RankState& st = world_->state(group_[static_cast<std::size_t>(rank_)]);
+  Request req;
+  req.comm_ = this;
+  req.kind_ = Request::Kind::kSend;
+  // The hidden-credit span starts where the message can actually enter the
+  // network: queueing behind the rank's own earlier injections is not
+  // overlap (it would count the same wire time twice).
+  const double now = st.alt_clock ? *st.alt_clock : st.vtime;
+  req.post_vtime_ = std::max(now, st.inject_busy_until);
+
+  // The payload is delivered eagerly; only its modeled time runs on the
+  // request's shadow clock, surfaced at wait().
+  double shadow = now;
+  double* saved = st.alt_clock;
+  st.alt_clock = &shadow;
+  send_bytes(dst, tag, data, bytes);
+  st.alt_clock = saved;
+  req.completion_ = shadow;
+  return req;
+}
+
+Request Comm::irecv_bytes(int src, std::int64_t tag, void* data,
+                          std::int64_t bytes) {
+  TUCKER_CHECK(src >= 0 && src < size(), "irecv: source out of range");
+  sync_cpu_clock();
+  Request req;
+  req.comm_ = this;
+  req.kind_ = Request::Kind::kRecv;
+  req.post_vtime_ = vtime();
+  req.src_world_ = group_[static_cast<std::size_t>(src)];
+  req.tag_ = tag;
+  req.data_ = data;
+  req.bytes_ = bytes;
+  return req;
+}
+
+Request Comm::iallreduce_bytes(
+    void* data, std::int64_t bytes,
+    const std::function<void(void*, const void*)>& combine) {
+  sync_cpu_clock();
+  RankState& st = world_->state(group_[static_cast<std::size_t>(rank_)]);
+  Request req;
+  req.comm_ = this;
+  req.kind_ = Request::Kind::kColl;
+  // As with isend: time spent queued behind this rank's earlier injections
+  // is not credited as hidden overlap.
+  req.post_vtime_ = std::max(st.vtime, st.inject_busy_until);
+
+  // Execute the exact blocking reduction tree eagerly (the buffer is fully
+  // reduced, bitwise-identical, when this returns) with its message costs
+  // on a shadow clock. Combine flops are real CPU work and stay on the
+  // rank clock via the sync_cpu_clock calls inside.
+  double shadow = st.vtime;
+  TUCKER_CHECK(st.alt_clock == nullptr,
+               "iallreduce posted inside another posted operation");
+  st.alt_clock = &shadow;
+  allreduce_bytes(data, bytes, combine);
+  world_->state(group_[static_cast<std::size_t>(rank_)]).alt_clock = nullptr;
+  req.completion_ = shadow;
+  return req;
+}
+
+void Comm::credit_completion(double post_vtime, double completion) {
+  sync_cpu_clock();
+  RankState& st = world_->state(group_[static_cast<std::size_t>(rank_)]);
+  // Clock advances to max(now, completion): the operation's span that was
+  // covered by compute (or by other already-credited operations) is
+  // hidden; only the uncovered remainder is charged as communication.
+  const double raw = std::max(0.0, completion - post_vtime);
+  const double gap = completion - st.vtime;
+  if (gap > 0) {
+    st.breakdown.charge_comm(gap);
+    st.vtime = completion;
+  }
+  const double hidden = raw - std::max(0.0, gap);
+  if (hidden > 0) st.overlap_hidden += hidden;
+}
+
+void Request::wait() {
+  if (kind_ == Kind::kNone) return;
+  if (kind_ == Kind::kRecv) {
+    comm_->sync_cpu_clock();
+    double ready = 0;
+    comm_->match_recv(src_world_, tag_, data_, bytes_, /*nonblocking=*/false,
+                      &ready);
+    completion_ = ready;
+  }
+  comm_->credit_completion(post_vtime_, completion_);
+  kind_ = Kind::kNone;
+}
+
+bool Request::test() {
+  if (kind_ == Kind::kNone) return true;
+  if (kind_ == Kind::kRecv) {
+    comm_->sync_cpu_clock();
+    double ready = 0;
+    if (!comm_->match_recv(src_world_, tag_, data_, bytes_,
+                           /*nonblocking=*/true, &ready))
+      return false;
+    completion_ = ready;
+  }
+  comm_->credit_completion(post_vtime_, completion_);
+  kind_ = Kind::kNone;
+  return true;
 }
 
 void Comm::barrier() {
@@ -229,6 +376,65 @@ void Comm::reduce_scatter_bytes(
   if (byte_counts[me] > 0)
     std::memcpy(recvbuf, working.data() + displs[me],
                 static_cast<std::size_t>(byte_counts[me]));
+}
+
+void Comm::reduce_scatter_overlap_bytes(
+    const void* data, void* recvbuf,
+    const std::vector<std::int64_t>& byte_counts,
+    const std::function<void(void*, const void*, std::int64_t)>& add_range) {
+  // Overlap variant of the ring reduce-scatter: every rank isends its
+  // partial of block b straight to b's owner, then folds the received
+  // partials in *exactly the ring's accumulation order* -- starting from
+  // rank me+1's partial, folding each subsequent rank's partial over the
+  // accumulator (new += acc, the ring's add direction), own partial last.
+  // Same bytes and message count as the ring, bitwise-identical result;
+  // but the sends pipeline through the injection pipe instead of
+  // lockstepping on each hop's arrival, and their modeled time can hide
+  // behind the fold compute and behind compute preceding the call.
+  const int p = size();
+  TUCKER_CHECK(static_cast<int>(byte_counts.size()) == p,
+               "reduce_scatter: need one count per rank");
+  std::vector<std::int64_t> displs(byte_counts.size() + 1, 0);
+  for (std::size_t i = 0; i < byte_counts.size(); ++i)
+    displs[i + 1] = displs[i] + byte_counts[i];
+  const std::int64_t total = displs.back();
+  const auto me = static_cast<std::size_t>(rank_);
+
+  if (p == 1) {
+    if (total > 0) std::memcpy(recvbuf, data, static_cast<std::size_t>(total));
+    return;
+  }
+
+  const std::int64_t base = next_coll_tag();
+  const auto* in = static_cast<const std::byte*>(data);
+
+  std::vector<Request> sends;
+  sends.reserve(static_cast<std::size_t>(p - 1));
+  for (int s = 1; s < p; ++s) {
+    const auto dst = static_cast<std::size_t>((rank_ + s) % p);
+    sends.push_back(isend_bytes(static_cast<int>(dst), base - 1,
+                                in + displs[dst], byte_counts[dst]));
+  }
+
+  const std::int64_t mine = byte_counts[me];
+  std::vector<std::byte> acc(static_cast<std::size_t>(mine));
+  std::vector<std::byte> tmp(static_cast<std::size_t>(mine));
+  std::byte* accp = acc.data();
+  std::byte* tmpp = tmp.data();
+  for (int s = 1; s < p; ++s) {
+    const int src = (rank_ + s) % p;
+    Request r = irecv_bytes(src, base - 1, s == 1 ? accp : tmpp, mine);
+    r.wait();
+    if (s > 1 && mine > 0) {
+      add_range(tmpp, accp, mine);  // new partial += accumulator (ring order)
+      std::swap(accp, tmpp);
+    }
+  }
+  if (mine > 0) {
+    std::memcpy(recvbuf, in + displs[me], static_cast<std::size_t>(mine));
+    add_range(recvbuf, accp, mine);  // own partial last, as in the ring
+  }
+  waitall(sends);
 }
 
 void Comm::gatherv_bytes(const void* sendbuf, std::int64_t sendbytes,

@@ -10,9 +10,20 @@
 //
 // Every operation also advances the rank's *virtual clock*: measured thread
 // CPU time since the last sample (compute) plus alpha+beta*bytes modeled
-// costs (communication). Simulated parallel runtime = max over ranks of the
+// costs (communication). Simulated parallel time = max over ranks of the
 // final virtual clock. Point-to-point messages carry the sender's clock so
 // dependency chains propagate through collectives automatically.
+//
+// Nonblocking ops (isend/irecv/iallreduce) return a Request handle. Data
+// transfer happens eagerly (an isend's payload is in the destination
+// mailbox before isend returns; an iallreduce's buffer is fully reduced
+// before iallreduce returns, using the exact same binomial tree as the
+// blocking allreduce, so results are bitwise-identical), but the *modeled
+// time* of the operation runs on a shadow clock. At wait() the rank's
+// clock advances to max(vtime, completion): compute performed between post
+// and wait is credited against the communication, so the clock advances by
+// max(compute, comm) instead of their sum, and the hidden portion is
+// accumulated in RunStats::comm_hidden.
 
 #include <cstddef>
 #include <cstdint>
@@ -29,13 +40,77 @@
 namespace tucker::mpi {
 
 class World;
+class Comm;
 
 enum class Op { kSum, kMax, kMin };
+
+/// Handle for a nonblocking operation. Move-only; a default-constructed or
+/// already-waited Request is inactive (wait() is a no-op, test() returns
+/// true). Destroying or move-assigning over a still-active Request is a
+/// programming error and CHECK-fires: every posted op must be waited on so
+/// its modeled time is credited exactly once.
+class Request {
+ public:
+  Request() = default;
+  Request(Request&& other) noexcept
+      : comm_(other.comm_), kind_(other.kind_), completion_(other.completion_),
+        post_vtime_(other.post_vtime_), src_world_(other.src_world_),
+        tag_(other.tag_), data_(other.data_), bytes_(other.bytes_) {
+    other.kind_ = Kind::kNone;
+  }
+  Request& operator=(Request&& other) {
+    TUCKER_CHECK(kind_ == Kind::kNone,
+                 "Request reused while still active (wait it first)");
+    comm_ = other.comm_;
+    kind_ = other.kind_;
+    completion_ = other.completion_;
+    post_vtime_ = other.post_vtime_;
+    src_world_ = other.src_world_;
+    tag_ = other.tag_;
+    data_ = other.data_;
+    bytes_ = other.bytes_;
+    other.kind_ = Kind::kNone;
+    return *this;
+  }
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+  ~Request() {
+    TUCKER_CHECK(kind_ == Kind::kNone,
+                 "Request destroyed while still active (wait it first)");
+  }
+
+  bool active() const { return kind_ != Kind::kNone; }
+
+  /// Blocks until the operation completes, then credits its modeled time:
+  /// the clock advances to max(vtime, completion) and the overlapped
+  /// remainder is recorded as hidden. No-op on an inactive request.
+  void wait();
+
+  /// Returns true iff the operation has completed (always true for posted
+  /// sends/collectives -- their transfer is eager). On completion behaves
+  /// like wait(); an inactive request returns true.
+  bool test();
+
+ private:
+  friend class Comm;
+  enum class Kind { kNone, kSend, kColl, kRecv };
+
+  Comm* comm_ = nullptr;
+  Kind kind_ = Kind::kNone;
+  double completion_ = 0;   // shadow clock at op completion (kSend/kColl)
+  double post_vtime_ = 0;   // rank clock when the op was posted
+  // Receive matching (kRecv): resolved at wait/test.
+  int src_world_ = -1;
+  std::int64_t tag_ = 0;
+  void* data_ = nullptr;
+  std::int64_t bytes_ = 0;
+};
 
 class Comm {
  public:
   int rank() const { return rank_; }
   int size() const { return static_cast<int>(group_.size()); }
+  const CostModel& model() const;
 
   // ---- point to point -------------------------------------------------
   template <class T>
@@ -52,15 +127,42 @@ class Comm {
                count * static_cast<std::int64_t>(sizeof(T)));
   }
 
-  /// Simultaneous exchange with a partner rank (deadlock-free).
+  /// Nonblocking send: the payload is copied into dst's mailbox before
+  /// returning, stamped ready at post_vtime + message_cost; the sender's
+  /// own clock is not advanced until wait().
+  template <class T>
+  Request isend(int dst, const T* data, std::int64_t count, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return isend_bytes(dst, user_tag(tag), data,
+                       count * static_cast<std::int64_t>(sizeof(T)));
+  }
+
+  /// Nonblocking receive: records the match; the message is consumed and
+  /// the clock aligned to its ready time at wait()/test().
+  template <class T>
+  Request irecv(int src, T* data, std::int64_t count, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return irecv_bytes(src, user_tag(tag), data,
+                       count * static_cast<std::int64_t>(sizeof(T)));
+  }
+
+  /// Simultaneous exchange with a partner rank. Built on isend/irecv so
+  /// the two directions are full-duplex: final clock is
+  /// max(own send cost, partner ready time) -- identical to the historic
+  /// blocking implementation, without its send-then-recv deadlock shape.
   template <class T>
   void sendrecv(int partner, const T* sendbuf, std::int64_t sendcount,
                 T* recvbuf, std::int64_t recvcount, int tag = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
-    send_bytes(partner, user_tag(tag), sendbuf,
-               sendcount * static_cast<std::int64_t>(sizeof(T)));
-    recv_bytes(partner, user_tag(tag), recvbuf,
-               recvcount * static_cast<std::int64_t>(sizeof(T)));
+    Request s = isend(partner, sendbuf, sendcount, tag);
+    Request r = irecv(partner, recvbuf, recvcount, tag);
+    r.wait();
+    s.wait();
+  }
+
+  /// Waits on each request in index order (deterministic crediting).
+  static void waitall(std::vector<Request>& reqs) {
+    for (Request& r : reqs) r.wait();
   }
 
   // ---- collectives ----------------------------------------------------
@@ -77,39 +179,50 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     allreduce_bytes(
         data, count * static_cast<std::int64_t>(sizeof(T)),
-        [count, op](void* inout, const void* in) {
-          T* a = static_cast<T*>(inout);
-          const T* b = static_cast<const T*>(in);
-          for (std::int64_t i = 0; i < count; ++i) {
-            switch (op) {
-              case Op::kSum: a[i] += b[i]; break;
-              case Op::kMax: a[i] = a[i] > b[i] ? a[i] : b[i]; break;
-              case Op::kMin: a[i] = a[i] < b[i] ? a[i] : b[i]; break;
-            }
-          }
-        });
+        combine_fn<T>(count, op));
+  }
+
+  /// Nonblocking allreduce. The reduction itself runs eagerly at post time
+  /// over the same binomial tree as allreduce() (bitwise-identical result,
+  /// fully reduced in `data` on return), but its modeled time runs on a
+  /// shadow clock credited at wait(). All ranks of the comm must post
+  /// their iallreduces in the same order (standard MPI nonblocking-
+  /// collective rule); the deadlock watchdog catches violations.
+  template <class T>
+  Request iallreduce(T* data, std::int64_t count, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return iallreduce_bytes(
+        data, count * static_cast<std::int64_t>(sizeof(T)),
+        combine_fn<T>(count, op));
   }
 
   /// Reduce-scatter: element-wise sum of every rank's `data` (counts.total
   /// elements), after which each rank keeps only its block as given by
   /// `counts` (rank r receives counts[r] elements into recvbuf). This is
   /// the collective TuckerMPI's TTM uses to re-block the truncated mode.
+  /// With overlap=true the ring is replaced by a direct pairwise exchange
+  /// whose partials are folded in exactly the ring's accumulation order
+  /// (bitwise-identical result, same bytes on the wire) so the p-1
+  /// message costs can hide behind each other and behind prior compute.
   template <class T>
   void reduce_scatter(const T* data, T* recvbuf,
-                      const std::vector<std::int64_t>& counts) {
+                      const std::vector<std::int64_t>& counts,
+                      bool overlap = false) {
     static_assert(std::is_trivially_copyable_v<T>);
     constexpr auto es = static_cast<std::int64_t>(sizeof(T));
     std::vector<std::int64_t> byte_counts(counts.size());
     for (std::size_t i = 0; i < counts.size(); ++i)
       byte_counts[i] = counts[i] * es;
-    reduce_scatter_bytes(
-        data, recvbuf, byte_counts,
-        [](void* inout, const void* in, std::int64_t bytes) {
-          T* a = static_cast<T*>(inout);
-          const T* b = static_cast<const T*>(in);
-          const std::int64_t n = bytes / static_cast<std::int64_t>(sizeof(T));
-          for (std::int64_t i = 0; i < n; ++i) a[i] += b[i];
-        });
+    auto add_range = [](void* inout, const void* in, std::int64_t bytes) {
+      T* a = static_cast<T*>(inout);
+      const T* b = static_cast<const T*>(in);
+      const std::int64_t n = bytes / static_cast<std::int64_t>(sizeof(T));
+      for (std::int64_t i = 0; i < n; ++i) a[i] += b[i];
+    };
+    if (overlap)
+      reduce_scatter_overlap_bytes(data, recvbuf, byte_counts, add_range);
+    else
+      reduce_scatter_bytes(data, recvbuf, byte_counts, add_range);
   }
 
   /// Gathers variable-sized blocks to `root`. counts has size() entries
@@ -161,6 +274,10 @@ class Comm {
   /// up-to-date value mid-run).
   double vtime() const;
 
+  /// Modeled communication seconds this rank has hidden behind compute or
+  /// behind other in-flight operations so far.
+  double comm_hidden() const;
+
   /// Region labeling for time breakdowns ("mode2/LQ", ...).
   RegionScope region(std::string name);
   Breakdown& breakdown();
@@ -171,8 +288,25 @@ class Comm {
  private:
   friend class Runtime;
   friend class WorldAccess;
+  friend class Request;
   Comm(World* world, std::vector<int> group, int rank, std::int64_t ctx)
       : world_(world), group_(std::move(group)), rank_(rank), ctx_(ctx) {}
+
+  template <class T>
+  static std::function<void(void*, const void*)> combine_fn(std::int64_t count,
+                                                            Op op) {
+    return [count, op](void* inout, const void* in) {
+      T* a = static_cast<T*>(inout);
+      const T* b = static_cast<const T*>(in);
+      for (std::int64_t i = 0; i < count; ++i) {
+        switch (op) {
+          case Op::kSum: a[i] += b[i]; break;
+          case Op::kMax: a[i] = a[i] > b[i] ? a[i] : b[i]; break;
+          case Op::kMin: a[i] = a[i] < b[i] ? a[i] : b[i]; break;
+        }
+      }
+    };
+  }
 
   // Tag spaces: user tags and internal collective tags must not collide.
   std::int64_t user_tag(int tag) const {
@@ -184,11 +318,30 @@ class Comm {
   void send_bytes(int dst, std::int64_t tag, const void* data,
                   std::int64_t bytes);
   void recv_bytes(int src, std::int64_t tag, void* data, std::int64_t bytes);
+  Request isend_bytes(int dst, std::int64_t tag, const void* data,
+                      std::int64_t bytes);
+  Request irecv_bytes(int src, std::int64_t tag, void* data,
+                      std::int64_t bytes);
+  Request iallreduce_bytes(
+      void* data, std::int64_t bytes,
+      const std::function<void(void*, const void*)>& combine);
+  // Consumes the matching message (blocking unless nonblocking=true, in
+  // which case returns false when no match is queued); on success stores
+  // the payload and its ready time.
+  bool match_recv(int src_world, std::int64_t tag, void* data,
+                  std::int64_t bytes, bool nonblocking, double* ready_vtime);
+  // Credits a completed nonblocking op: clock -> max(vtime, completion),
+  // gap charged as comm, remainder of the op's span recorded as hidden.
+  void credit_completion(double post_vtime, double completion);
   void bcast_bytes(void* data, std::int64_t bytes, int root);
   void allreduce_bytes(
       void* data, std::int64_t bytes,
       const std::function<void(void*, const void*)>& combine);
   void reduce_scatter_bytes(
+      const void* data, void* recvbuf,
+      const std::vector<std::int64_t>& byte_counts,
+      const std::function<void(void*, const void*, std::int64_t)>& add_range);
+  void reduce_scatter_overlap_bytes(
       const void* data, void* recvbuf,
       const std::vector<std::int64_t>& byte_counts,
       const std::function<void(void*, const void*, std::int64_t)>& add_range);

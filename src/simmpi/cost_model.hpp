@@ -19,6 +19,16 @@ struct CostModel {
   double alpha = 2e-6;
   /// Per-byte transfer cost, seconds (default 1/(10 GB/s)).
   double beta = 1e-10;
+  /// Modeled flop rate, flops/second, used only where a *deterministic*
+  /// compute estimate is needed (the mode-parallel finalize scheduler ranks
+  /// modes by modeled readiness; measured CPU time would make the schedule
+  /// nondeterministic and break bitwise reproducibility). Default ~ one
+  /// core's sustained dgemm rate; only relative magnitudes matter.
+  double flop_rate = 5e9;
+  /// Deadlock watchdog: abort with a per-rank stuck-op report when every
+  /// rank has been blocked in a receive/wait with no matching message for
+  /// this many wall-clock seconds. <= 0 disables the watchdog.
+  double watchdog_seconds = 60;
 
   double message_cost(std::int64_t bytes) const {
     return alpha + beta * static_cast<double>(bytes);

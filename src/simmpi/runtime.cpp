@@ -72,6 +72,11 @@ RunStats Runtime::run(int nprocs, const std::function<void(Comm&)>& fn,
       fn(comm);
       comm.sync_cpu_clock();
       st.flops = thread_flops();
+      // A finished rank will never send again: register it as terminally
+      // blocked so ranks stuck waiting on it trip the deadlock watchdog
+      // (finished ranks never poll, so an all-finished world just joins).
+      if (world.watchdog_enabled())
+        world.watchdog_block(r, BlockedOp{BlockedOp::kFinished, 0, 0, 0});
     });
   }
   for (auto& t : threads) t.join();
@@ -84,6 +89,7 @@ RunStats Runtime::run(int nprocs, const std::function<void(Comm&)>& fn,
     dst.vtime = st.vtime;
     dst.compute_seconds = st.breakdown.total_compute();
     dst.comm_seconds = st.breakdown.total_comm();
+    dst.comm_hidden = st.overlap_hidden;
     dst.region_compute = st.breakdown.compute();
     dst.region_comm = st.breakdown.comm();
     dst.flops = st.flops;

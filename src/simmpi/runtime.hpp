@@ -25,6 +25,7 @@ struct RankStats {
   double vtime = 0;            ///< Simulated completion time of this rank.
   double compute_seconds = 0;  ///< Measured CPU compute time.
   double comm_seconds = 0;     ///< Modeled communication + wait time.
+  double comm_hidden = 0;      ///< Modeled comm hidden behind compute (overlap).
   std::map<std::string, double> region_compute;
   std::map<std::string, double> region_comm;
   std::int64_t flops = 0;

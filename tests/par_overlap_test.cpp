@@ -1,0 +1,248 @@
+// Tests for the overlapped distributed ST-HOSVD driver: bitwise
+// equivalence of the overlapped schedule (window 1) with the blocking
+// schedule across methods, grids and thread widths; determinism and
+// accuracy of the windowed mode-parallel sketching variant; and the
+// modeled critical-path reduction the overlap exists for.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/par_sthosvd.hpp"
+#include "core/sthosvd.hpp"
+#include "data/synthetic_tensor.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace tucker {
+namespace {
+
+using blas::index_t;
+using blas::Matrix;
+using core::OverlapOptions;
+using core::SvdMethod;
+using core::TruncationSpec;
+using dist::DistTensor;
+using dist::ProcessorGrid;
+using tensor::Dims;
+using tensor::Tensor;
+
+Tensor<double> test_tensor(std::uint64_t seed) {
+  return data::tensor_with_spectra(
+      {8, 7, 6, 5}, {data::DecayProfile::geometric(1, 1e-5),
+                     data::DecayProfile::geometric(1, 1e-5),
+                     data::DecayProfile::geometric(1, 1e-4),
+                     data::DecayProfile::geometric(1, 1e-4)},
+      seed);
+}
+
+// Everything a run produces that the bitwise contract covers.
+struct Capture {
+  std::vector<Matrix<double>> factors;
+  std::vector<std::vector<double>> mode_sigmas;
+  std::vector<index_t> ranks;
+  std::vector<std::size_t> order;
+  Tensor<double> core;
+  mpi::RunStats stats;
+};
+
+Capture run_par(const Tensor<double>& x, const Dims& grid,
+                const TruncationSpec& spec, SvdMethod method,
+                const OverlapOptions& ov, mpi::CostModel model = {}) {
+  Capture cap;
+  const int p = ProcessorGrid(grid).total();
+  cap.stats = mpi::Runtime::run(
+      p,
+      [&](mpi::Comm& world) {
+        DistTensor<double> dt(world, ProcessorGrid(grid), x.dims());
+        dt.fill_from(x);
+        auto res = core::par_sthosvd(dt, spec, method, {}, {}, ov);
+        auto tk = res.gather_to_root();
+        if (world.rank() == 0) {
+          cap.factors = std::move(res.factors);
+          cap.mode_sigmas = std::move(res.mode_sigmas);
+          cap.ranks = std::move(res.ranks);
+          cap.order = std::move(res.order);
+          cap.core = std::move(tk.core);
+        }
+      },
+      model);
+  return cap;
+}
+
+void expect_bitwise_equal(const Capture& a, const Capture& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.ranks, b.ranks) << what;
+  ASSERT_EQ(a.factors.size(), b.factors.size()) << what;
+  for (std::size_t n = 0; n < a.factors.size(); ++n) {
+    const auto& fa = a.factors[n];
+    const auto& fb = b.factors[n];
+    ASSERT_EQ(fa.rows(), fb.rows()) << what << " mode " << n;
+    ASSERT_EQ(fa.cols(), fb.cols()) << what << " mode " << n;
+    EXPECT_EQ(std::memcmp(fa.data(), fb.data(),
+                          sizeof(double) *
+                              static_cast<std::size_t>(fa.rows() * fa.cols())),
+              0)
+        << what << ": factor " << n << " differs";
+    ASSERT_EQ(a.mode_sigmas[n].size(), b.mode_sigmas[n].size()) << what;
+    EXPECT_EQ(std::memcmp(a.mode_sigmas[n].data(), b.mode_sigmas[n].data(),
+                          sizeof(double) * a.mode_sigmas[n].size()),
+              0)
+        << what << ": sigmas of mode " << n << " differ";
+  }
+  ASSERT_EQ(a.core.dims(), b.core.dims()) << what;
+  EXPECT_EQ(std::memcmp(a.core.data(), b.core.data(),
+                        sizeof(double) *
+                            static_cast<std::size_t>(a.core.size())),
+            0)
+      << what << ": core differs";
+}
+
+class ThreadRestore : public ::testing::Test {
+ protected:
+  void SetUp() override { initial_ = parallel::max_threads(); }
+  void TearDown() override { parallel::set_max_threads(initial_); }
+  int initial_ = 0;
+};
+
+// ------------------------------------------------- window-1 equivalence
+
+struct EquivCase {
+  SvdMethod method;
+  Dims grid;
+};
+
+class OverlapEquivTest : public ::testing::TestWithParam<EquivCase> {
+ protected:
+  void SetUp() override { initial_ = parallel::max_threads(); }
+  void TearDown() override { parallel::set_max_threads(initial_); }
+  int initial_ = 0;
+};
+
+TEST_P(OverlapEquivTest, Window1BitwiseIdenticalToBlockingAcrossWidths) {
+  const auto& [method, grid] = GetParam();
+  auto x = test_tensor(61);
+  const auto spec = TruncationSpec::tolerance(1e-3);
+
+  parallel::set_max_threads(2);
+  auto blocking = run_par(x, grid, spec, method, OverlapOptions{});
+
+  OverlapOptions ov;
+  ov.enabled = true;
+  ov.mode_window = 1;
+  ov.gram_pieces = 5;  // uneven split: m is not a multiple of 5
+  for (int width : {1, 2, 7}) {
+    parallel::set_max_threads(width);
+    auto overlapped = run_par(x, grid, spec, method, ov);
+    expect_bitwise_equal(blocking, overlapped,
+                         "overlap/window=1 at width " +
+                             std::to_string(width));
+    EXPECT_EQ(overlapped.order, blocking.order);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, OverlapEquivTest,
+    ::testing::Values(EquivCase{SvdMethod::kQr, {1, 1, 1, 1}},
+                      EquivCase{SvdMethod::kQr, {2, 2, 1, 1}},
+                      EquivCase{SvdMethod::kGram, {2, 2, 1, 1}},
+                      EquivCase{SvdMethod::kGram, {1, 3, 1, 2}},
+                      EquivCase{SvdMethod::kRand, {1, 1, 1, 1}},
+                      EquivCase{SvdMethod::kRand, {2, 2, 1, 1}},
+                      EquivCase{SvdMethod::kRand, {1, 3, 1, 2}}));
+
+// ------------------------------------------- windowed sketching (W > 1)
+
+TEST_F(ThreadRestore, WindowedSketchingDeterministicAcrossWidthsAndReruns) {
+  auto x = test_tensor(67);
+  const auto spec = TruncationSpec::fixed_ranks({4, 4, 3, 3});
+  OverlapOptions ov;
+  ov.enabled = true;
+  ov.mode_window = 2;
+
+  parallel::set_max_threads(1);
+  auto first = run_par(x, {2, 2, 1, 1}, spec, SvdMethod::kRand, ov);
+  auto rerun = run_par(x, {2, 2, 1, 1}, spec, SvdMethod::kRand, ov);
+  expect_bitwise_equal(first, rerun, "windowed rerun");
+  EXPECT_EQ(first.order, rerun.order);
+  for (int width : {2, 7}) {
+    parallel::set_max_threads(width);
+    auto wide = run_par(x, {2, 2, 1, 1}, spec, SvdMethod::kRand, ov);
+    expect_bitwise_equal(first, wide,
+                         "windowed at width " + std::to_string(width));
+    EXPECT_EQ(first.order, wide.order);
+  }
+
+  // The schedule processed every mode exactly once.
+  std::vector<bool> seen(4, false);
+  for (std::size_t n : first.order) {
+    ASSERT_LT(n, 4u);
+    EXPECT_FALSE(seen[n]);
+    seen[n] = true;
+  }
+  EXPECT_EQ(first.ranks, (std::vector<index_t>{4, 4, 3, 3}));
+}
+
+TEST_F(ThreadRestore, WindowedSketchingStaysAccurate) {
+  // Window > 1 is the mode-parallel variant: later window members sketch
+  // a not-yet-truncated source, so results are not bitwise-comparable to
+  // the serial schedule -- but the compression quality must hold.
+  auto x = test_tensor(71);
+  const auto spec = TruncationSpec::fixed_ranks({4, 4, 3, 3});
+  parallel::set_max_threads(2);
+  for (index_t window : {2, 4}) {
+    OverlapOptions ov;
+    ov.enabled = true;
+    ov.mode_window = window;
+    auto cap = run_par(x, {2, 1, 2, 1}, spec, SvdMethod::kRand, ov);
+    EXPECT_EQ(cap.ranks, (std::vector<index_t>{4, 4, 3, 3}));
+    core::TuckerTensor<double> tk{std::move(cap.core), std::move(cap.factors)};
+    EXPECT_LE(core::relative_error(x, tk), 5e-2) << "window " << window;
+  }
+}
+
+// ------------------------------------------------ critical-path effect
+
+TEST_F(ThreadRestore, WindowedOverlapShortensModeledCriticalPath) {
+  // Latency-heavy network: each sketch reduction's completion latency is
+  // milliseconds, so pipelining a window of them (and hiding them behind
+  // the later sketches' compute) must shorten the modeled makespan.
+  auto x = data::random_tensor<double>({16, 14, 12, 10}, 73);
+  const auto spec = TruncationSpec::fixed_ranks({4, 4, 4, 4});
+  mpi::CostModel net;
+  net.alpha = 2e-3;
+  net.beta = 1e-9;
+
+  parallel::set_max_threads(2);
+  auto blocking =
+      run_par(x, {1, 1, 2, 2}, spec, SvdMethod::kRand, OverlapOptions{}, net);
+  OverlapOptions ov;
+  ov.enabled = true;
+  ov.mode_window = 4;
+  auto overlapped =
+      run_par(x, {1, 1, 2, 2}, spec, SvdMethod::kRand, ov, net);
+
+  EXPECT_LT(overlapped.stats.makespan(), blocking.stats.makespan());
+  // The win is accounted as hidden communication on the critical path.
+  EXPECT_GT(overlapped.stats.slowest().comm_hidden,
+            blocking.stats.slowest().comm_hidden);
+}
+
+TEST_F(ThreadRestore, OverlapNeverChangesRanksOrErrorAtTolerance) {
+  // Tolerance-mode sanity on a bigger grid: overlap on/off picks the same
+  // ranks and lands the same error bound.
+  auto x = test_tensor(79);
+  const auto spec = TruncationSpec::tolerance(1e-3);
+  parallel::set_max_threads(2);
+  auto blocking =
+      run_par(x, {2, 2, 2, 1}, spec, SvdMethod::kGram, OverlapOptions{});
+  OverlapOptions ov;
+  ov.enabled = true;
+  auto overlapped = run_par(x, {2, 2, 2, 1}, spec, SvdMethod::kGram, ov);
+  expect_bitwise_equal(blocking, overlapped, "gram overlap on 8 ranks");
+}
+
+}  // namespace
+}  // namespace tucker

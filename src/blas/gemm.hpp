@@ -24,6 +24,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 #include <vector>
 
 #include "blas/blas1.hpp"
@@ -41,7 +42,13 @@ namespace tucker::blas {
 /// column-major is handled by computing C^T = B^T A^T; A and B panels are
 /// packed into contiguous tiles whatever their strides, so every layout
 /// runs at the micro-kernel rate.
-template <class T>
+///
+/// TA is the register-tile accumulator (Accum::kWide passes wide_t<T>).
+/// Wide accumulation still spills C at storage width once per k block, so
+/// its bits depend on TUCKER_GEMM_KB (one storage rounding per spill, error
+/// ~(k/kb + 1) * eps_s instead of k * eps_s) -- but, like every blocking
+/// knob, never on thread count, SIMD variant or output partition.
+template <class T, class TA = T>
 void gemm(T alpha, MatView<const T> a, MatView<const T> b, T beta,
           MatView<T> c) {
   const index_t m = c.rows(), n = c.cols(), k = a.cols();
@@ -51,11 +58,15 @@ void gemm(T alpha, MatView<const T> a, MatView<const T> b, T beta,
   // Column-contiguous C: flip to the transposed product, which is
   // row-contiguous.
   if (c.col_stride() != 1 && c.row_stride() == 1) {
-    gemm<T>(alpha, b.t(), a.t(), beta, c.t());
+    gemm<T, TA>(alpha, b.t(), a.t(), beta, c.t());
     return;
   }
 
+  // Flops count the arithmetic (performed at TA width under kWide); bytes
+  // count the streamed words, which stay at storage width. The two ledgers
+  // are deliberately independent -- see flops.hpp.
   add_flops(2 * m * n * k);
+  add_traffic(flops::gemm_bytes(m, n, k, sizeof(T)));
 
   if (beta == T(0)) {
     fill(c, T(0));
@@ -105,9 +116,10 @@ void gemm(T alpha, MatView<const T> a, MatView<const T> b, T beta,
                 const T* ap = apack + it * kn;
                 T* cp = c.data() + (i0 + it) * ldc + (j0 + jt);
                 if (mr == kMicroMR && nr == kMicroNR) {
-                  detail::mk_tile(simd, kn, ap, bp, cp, ldc);
+                  detail::mk_tile<T, TA>(simd, kn, ap, bp, cp, ldc);
                 } else {
-                  detail::mk_tile_edge(simd, kn, ap, bp, cp, ldc, mr, nr);
+                  detail::mk_tile_edge<T, TA>(simd, kn, ap, bp, cp, ldc, mr,
+                                              nr);
                 }
               }
             }
@@ -133,7 +145,7 @@ void gemm(T alpha, MatView<const T> a, MatView<const T> b, T beta,
     } else {
       run_panel(0, m, 0, n);
     }
-  } else {
+  } else if constexpr (std::is_same_v<T, TA>) {
     // Fully generic fallback (neither C orientation contiguous).
     for (index_t i = 0; i < m; ++i)
       for (index_t kk = 0; kk < k; ++kk) {
@@ -141,6 +153,21 @@ void gemm(T alpha, MatView<const T> a, MatView<const T> b, T beta,
         if (av == T(0)) continue;
         for (index_t j = 0; j < n; ++j) c(i, j) += av * b(kk, j);
       }
+  } else {
+    // Wide generic fallback: mimic the tiled path's chain exactly -- per
+    // element, widen C, accumulate one k block in TA, round to storage --
+    // so exotic layouts produce the same bits as the packed path.
+    const index_t kb = std::min(tune::gemm_kb(), k);
+    for (index_t i = 0; i < m; ++i)
+      for (index_t j = 0; j < n; ++j)
+        for (index_t k0 = 0; k0 < k; k0 += kb) {
+          const index_t kn = std::min(kb, k - k0);
+          TA s = static_cast<TA>(c(i, j));
+          for (index_t kk = k0; kk < k0 + kn; ++kk)
+            s += static_cast<TA>(alpha * a(i, kk)) *
+                 static_cast<TA>(b(kk, j));
+          c(i, j) = static_cast<T>(s);
+        }
   }
 }
 
@@ -164,7 +191,7 @@ inline index_t prepacked_a_elems(index_t m, index_t k) {
 /// Bitwise contract: same jb/kb blocking, same packed values and the same
 /// mk_tile per-element ascending-k accumulation chain as `gemm` with
 /// beta = 0, so the result is bit-identical to the reference call.
-template <class T>
+template <class T, class TA = T>
 void gemm_prepacked_a(const T* apack, index_t m, index_t k, MatView<const T> b,
                       MatView<T> c) {
   const index_t n = c.cols();
@@ -172,6 +199,8 @@ void gemm_prepacked_a(const T* apack, index_t m, index_t k, MatView<const T> b,
                "gemm_prepacked_a: shape mismatch");
   TUCKER_CHECK(c.col_stride() == 1, "gemm_prepacked_a: C must be row-major");
   add_flops(2 * m * n * k);
+  // The prepacked A panel is reused across calls; charge only B and C.
+  add_traffic(static_cast<std::int64_t>(sizeof(T)) * (k * n + 2 * m * n));
   fill(c, T(0));
   if (m == 0 || n == 0 || k == 0) return;
 
@@ -196,9 +225,9 @@ void gemm_prepacked_a(const T* apack, index_t m, index_t k, MatView<const T> b,
           const T* ap = apack + it * k + k0 * kMicroMR;
           T* cp = c.data() + it * ldc + (j0 + jt);
           if (mr == kMicroMR && nr == kMicroNR) {
-            mk_tile(simd, kn, ap, bp, cp, ldc);
+            mk_tile<T, TA>(simd, kn, ap, bp, cp, ldc);
           } else {
-            mk_tile_edge(simd, kn, ap, bp, cp, ldc, mr, nr);
+            mk_tile_edge<T, TA>(simd, kn, ap, bp, cp, ldc, mr, nr);
           }
         }
       }
@@ -212,12 +241,14 @@ void gemm_prepacked_a(const T* apack, index_t m, index_t k, MatView<const T> b,
 /// Computes the lower triangle with the register-tiled micro-kernel (the
 /// "B" operand is A^T, packed from the same matrix), then mirrors to the
 /// upper triangle (the Gram eigensolver wants the full symmetric matrix).
-template <class T>
+/// TA as in gemm: wide accumulation spills at storage width per k block.
+template <class T, class TA = T>
 void syrk(T alpha, MatView<const T> a, T beta, MatView<T> c) {
   const index_t m = a.rows(), n = a.cols();
   TUCKER_CHECK(c.rows() == m && c.cols() == m, "syrk: C must be m x m");
   // Nominal cost: m(m+1)n mults+adds over the triangle.
   add_flops(static_cast<std::int64_t>(m) * (m + 1) * n);
+  add_traffic(flops::syrk_bytes(m, n, sizeof(T)));
 
   if (beta == T(0)) {
     fill(c, T(0));
@@ -243,11 +274,27 @@ void syrk(T alpha, MatView<const T> a, T beta, MatView<T> c) {
     if (rhi <= rlo) return;
     if (c.col_stride() != 1) {
       // Generic-C fallback (not used by the library's own row-major Grams).
-      for (index_t kk = 0; kk < n; ++kk)
-        for (index_t i = rlo; i < rhi; ++i) {
-          const T av = alpha * a(i, kk);
-          for (index_t j = 0; j <= i; ++j) c(i, j) += av * a(j, kk);
-        }
+      if constexpr (std::is_same_v<T, TA>) {
+        for (index_t kk = 0; kk < n; ++kk)
+          for (index_t i = rlo; i < rhi; ++i) {
+            const T av = alpha * a(i, kk);
+            for (index_t j = 0; j <= i; ++j) c(i, j) += av * a(j, kk);
+          }
+      } else {
+        // Wide: per element, one TA run per k block with a storage-width
+        // spill, matching the tiled chain (kSyrkKB below).
+        const index_t kb = std::min<index_t>(kSyrkKB, n);
+        for (index_t i = rlo; i < rhi; ++i)
+          for (index_t j = 0; j <= i; ++j)
+            for (index_t k0 = 0; k0 < n; k0 += kb) {
+              const index_t kn = std::min(kb, n - k0);
+              TA s = static_cast<TA>(c(i, j));
+              for (index_t kk = k0; kk < k0 + kn; ++kk)
+                s += static_cast<TA>(alpha * a(i, kk)) *
+                     static_cast<TA>(a(j, kk));
+              c(i, j) = static_cast<T>(s);
+            }
+      }
       return;
     }
     const index_t band_h = rhi - rlo;
@@ -274,7 +321,7 @@ void syrk(T alpha, MatView<const T> a, T beta, MatView<T> c) {
           const T* bp = rpack + jt * kn;
           T* cp = c.data() + i0 * ldc + jt;
           if (mr == kMicroMR && jt + kMicroNR - 1 <= i0) {
-            detail::mk_tile(simd, kn, ap, bp, cp, ldc);
+            detail::mk_tile<T, TA>(simd, kn, ap, bp, cp, ldc);
           } else {
             // Diagonal-crossing or edge tile: compute the full tile into a
             // local buffer, store back only the lower-triangle entries.
@@ -284,7 +331,7 @@ void syrk(T alpha, MatView<const T> a, T beta, MatView<T> c) {
                 const bool live = r < mr && jt + j <= i0 + r;
                 ctmp[r * kMicroNR + j] = live ? cp[r * ldc + j] : T(0);
               }
-            detail::mk_tile(simd, kn, ap, bp, ctmp, kMicroNR);
+            detail::mk_tile<T, TA>(simd, kn, ap, bp, ctmp, kMicroNR);
             for (index_t r = 0; r < mr; ++r) {
               const index_t jn = std::min(kMicroNR, i0 + r - jt + 1);
               for (index_t j = 0; j < jn; ++j)

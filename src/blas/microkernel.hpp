@@ -35,8 +35,19 @@
 //    columns [q*NR, q*NR+NR) as [kk][j] (NR consecutive columns per k
 //    step).
 
+// Wide accumulation (Accum::kWide, DESIGN.md Sec 13): every kernel below
+// also compiles with a second template parameter TA -- the accumulator
+// type -- defaulting to T. With TA = wide_t<T> (double for float storage)
+// loads and stores stay at storage width but every private accumulator is
+// TA; the float*float products are exact in double, so the per-element
+// error drops from O(k)*eps_s to one storage rounding per spill. The
+// determinism argument is unchanged: accumulators are still private and
+// k-ordered, so thread width / SIMD width / tile shape never change bits
+// for either TA instantiation.
+
 #include <algorithm>
 #include <cstddef>
+#include <type_traits>
 
 #include "blas/matview.hpp"
 
@@ -49,6 +60,14 @@
 #else
 #define TUCKER_HAVE_VEC_EXT 0
 #endif
+
+// The wide-accumulator SIMD kernels manipulate 64-byte double vectors,
+// which gcc flags with -Wpsabi ("vector return without AVX512F changes the
+// ABI") even though every such value is produced and consumed inside one
+// inlined kernel body -- no cross-TU vector call ever exists. Silence the
+// note for this header.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpsabi"
 
 namespace tucker::blas::detail {
 
@@ -141,21 +160,26 @@ void pack_b(MatView<const T> b, index_t k0, index_t kn, index_t j0,
 }
 
 /// Scalar reference micro-kernel: C(r, 0:NR) += sum_kk ap[kk*MR+r] *
-/// bp[kk*NR+0:NR], full MR x NR tile, ldc = row stride of C.
-template <class T>
+/// bp[kk*NR+0:NR], full MR x NR tile, ldc = row stride of C. The register
+/// tile is TA; C is loaded (widened) once and stored (rounded) once per
+/// call, so a gemm k-block is exactly one TA accumulation run.
+template <class T, class TA = T>
 inline void mk_tile_scalar(index_t kn, const T* ap, const T* bp, T* c,
                            index_t ldc) {
-  T acc[kMicroMR][kMicroNR];
+  TA acc[kMicroMR][kMicroNR];
   for (index_t r = 0; r < kMicroMR; ++r)
-    for (index_t j = 0; j < kMicroNR; ++j) acc[r][j] = c[r * ldc + j];
+    for (index_t j = 0; j < kMicroNR; ++j)
+      acc[r][j] = static_cast<TA>(c[r * ldc + j]);
   for (index_t kk = 0; kk < kn; ++kk) {
     const T* av = ap + kk * kMicroMR;
     const T* bv = bp + kk * kMicroNR;
     for (index_t r = 0; r < kMicroMR; ++r)
-      for (index_t j = 0; j < kMicroNR; ++j) acc[r][j] += av[r] * bv[j];
+      for (index_t j = 0; j < kMicroNR; ++j)
+        acc[r][j] += static_cast<TA>(av[r]) * static_cast<TA>(bv[j]);
   }
   for (index_t r = 0; r < kMicroMR; ++r)
-    for (index_t j = 0; j < kMicroNR; ++j) c[r * ldc + j] = acc[r][j];
+    for (index_t j = 0; j < kMicroNR; ++j)
+      c[r * ldc + j] = static_cast<T>(acc[r][j]);
 }
 
 #if TUCKER_HAVE_VEC_EXT
@@ -163,54 +187,72 @@ inline void mk_tile_scalar(index_t kn, const T* ap, const T* bp, T* c,
 template <class T>
 struct MicroVec {
   // Element-aligned (not vector-aligned) so loads/stores may hit any C row;
-  // may_alias because we access T arrays through it.
+  // may_alias because we access T arrays through it. For TA = double under
+  // float storage the accumulator vector is 64 bytes wide; the compiler
+  // legalizes it to however many hardware registers the target has.
   typedef T type __attribute__((vector_size(kMicroNR * sizeof(T)),
                                 aligned(alignof(T)), may_alias));
 };
 
+/// Lane-wise conversion between the NR-wide vector types of two scalar
+/// types; the identity when they match (so the native instantiations are
+/// untouched). Always inlined into the kernels, so the by-value vector
+/// "ABI" gcc warns about (-Wpsabi) never materializes as a real call.
+template <class To, class From>
+__attribute__((always_inline)) inline typename MicroVec<To>::type convert_vec(
+    typename MicroVec<From>::type v) {
+  if constexpr (std::is_same_v<To, From>) {
+    return v;
+  } else {
+    return __builtin_convertvector(v, typename MicroVec<To>::type);
+  }
+}
+
 /// SIMD micro-kernel: one NR-wide vector accumulator per C row. Identical
 /// per-element arithmetic to mk_tile_scalar (see header comment).
-template <class T>
+template <class T, class TA = T>
 inline void mk_tile_simd(index_t kn, const T* ap, const T* bp, T* c,
                          index_t ldc) {
   using vec = typename MicroVec<T>::type;
+  using avec = typename MicroVec<TA>::type;
   static_assert(kMicroMR == 4, "unrolled for MR = 4");
-  vec acc0 = *reinterpret_cast<const vec*>(c + 0 * ldc);
-  vec acc1 = *reinterpret_cast<const vec*>(c + 1 * ldc);
-  vec acc2 = *reinterpret_cast<const vec*>(c + 2 * ldc);
-  vec acc3 = *reinterpret_cast<const vec*>(c + 3 * ldc);
+  avec acc0 = convert_vec<TA, T>(*reinterpret_cast<const vec*>(c + 0 * ldc));
+  avec acc1 = convert_vec<TA, T>(*reinterpret_cast<const vec*>(c + 1 * ldc));
+  avec acc2 = convert_vec<TA, T>(*reinterpret_cast<const vec*>(c + 2 * ldc));
+  avec acc3 = convert_vec<TA, T>(*reinterpret_cast<const vec*>(c + 3 * ldc));
   for (index_t kk = 0; kk < kn; ++kk) {
     const T* av = ap + kk * kMicroMR;
-    const vec bv = *reinterpret_cast<const vec*>(bp + kk * kMicroNR);
-    acc0 += av[0] * bv;
-    acc1 += av[1] * bv;
-    acc2 += av[2] * bv;
-    acc3 += av[3] * bv;
+    const avec bv =
+        convert_vec<TA, T>(*reinterpret_cast<const vec*>(bp + kk * kMicroNR));
+    acc0 += static_cast<TA>(av[0]) * bv;
+    acc1 += static_cast<TA>(av[1]) * bv;
+    acc2 += static_cast<TA>(av[2]) * bv;
+    acc3 += static_cast<TA>(av[3]) * bv;
   }
-  *reinterpret_cast<vec*>(c + 0 * ldc) = acc0;
-  *reinterpret_cast<vec*>(c + 1 * ldc) = acc1;
-  *reinterpret_cast<vec*>(c + 2 * ldc) = acc2;
-  *reinterpret_cast<vec*>(c + 3 * ldc) = acc3;
+  *reinterpret_cast<vec*>(c + 0 * ldc) = convert_vec<T, TA>(acc0);
+  *reinterpret_cast<vec*>(c + 1 * ldc) = convert_vec<T, TA>(acc1);
+  *reinterpret_cast<vec*>(c + 2 * ldc) = convert_vec<T, TA>(acc2);
+  *reinterpret_cast<vec*>(c + 3 * ldc) = convert_vec<T, TA>(acc3);
 }
 
 #else  // !TUCKER_HAVE_VEC_EXT: the SIMD entry point degrades to scalar.
 
-template <class T>
+template <class T, class TA = T>
 inline void mk_tile_simd(index_t kn, const T* ap, const T* bp, T* c,
                          index_t ldc) {
-  mk_tile_scalar(kn, ap, bp, c, ldc);
+  mk_tile_scalar<T, TA>(kn, ap, bp, c, ldc);
 }
 
 #endif  // TUCKER_HAVE_VEC_EXT
 
 /// Dispatches one full MR x NR tile on the active variant.
-template <class T>
+template <class T, class TA = T>
 inline void mk_tile(bool simd, index_t kn, const T* ap, const T* bp, T* c,
                     index_t ldc) {
   if (simd) {
-    mk_tile_simd(kn, ap, bp, c, ldc);
+    mk_tile_simd<T, TA>(kn, ap, bp, c, ldc);
   } else {
-    mk_tile_scalar(kn, ap, bp, c, ldc);
+    mk_tile_scalar<T, TA>(kn, ap, bp, c, ldc);
   }
 }
 
@@ -243,18 +285,24 @@ inline constexpr index_t kTtmAxpyMaxR = 64;
 /// k step in ascending k order -- is exactly the chain of the register-tile
 /// SIMD variant and of the packed gemm, so all three are interchangeable
 /// bit for bit.
-template <class T>
+/// The output slab C is typed on the accumulator TA: natively that is the
+/// destination itself; under wide accumulation the caller hands a TA
+/// scratch slab and rounds it to storage once at the end (ttm.hpp), so
+/// every element still sees a single full-k TA chain and the walks below
+/// stay bitwise-interchangeable.
+template <class T, class TA>
 inline void ttm_cols_scalar(index_t m, index_t k, const T* a, const T* b,
-                            index_t ldb, T* c, index_t ldc, index_t j0,
+                            index_t ldb, TA* c, index_t ldc, index_t j0,
                             index_t j1) {
   for (index_t r = 0; r < m; ++r)
-    for (index_t j = j0; j < j1; ++j) c[r * ldc + j] = T(0);
+    for (index_t j = j0; j < j1; ++j) c[r * ldc + j] = TA(0);
   for (index_t kk = 0; kk < k; ++kk) {
     const T* bv = b + kk * ldb;
     for (index_t r = 0; r < m; ++r) {
-      const T av = a[r * k + kk];
-      T* cv = c + r * ldc;
-      for (index_t j = j0; j < j1; ++j) cv[j] += av * bv[j];
+      const TA av = static_cast<TA>(a[r * k + kk]);
+      TA* cv = c + r * ldc;
+      for (index_t j = j0; j < j1; ++j)
+        cv[j] += av * static_cast<TA>(bv[j]);
     }
   }
 }
@@ -269,11 +317,12 @@ inline void ttm_cols_scalar(index_t m, index_t k, const T* a, const T* b,
 /// factor (rows are k apart; no panel pack), B directly from the unfolding
 /// block. Row/column remainders run the same ascending-k chains with fewer
 /// accumulators.
-template <class T>
+template <class T, class TA>
 inline void ttm_cols_simd(index_t m, index_t k, const T* a, const T* b,
-                          index_t ldb, T* c, index_t ldc, index_t j0,
+                          index_t ldb, TA* c, index_t ldc, index_t j0,
                           index_t j1) {
   using vec = typename MicroVec<T>::type;
+  using avec = typename MicroVec<TA>::type;
   const index_t jv = j0 + (j1 - j0) / kMicroNR * kMicroNR;
   static_assert(kMicroMR == 4, "unrolled for MR = 4");
   index_t i = 0;
@@ -282,38 +331,39 @@ inline void ttm_cols_simd(index_t m, index_t k, const T* a, const T* b,
     const T* a1 = a + (i + 1) * k;
     const T* a2 = a + (i + 2) * k;
     const T* a3 = a + (i + 3) * k;
-    T* c0 = c + (i + 0) * ldc;
-    T* c1 = c + (i + 1) * ldc;
-    T* c2 = c + (i + 2) * ldc;
-    T* c3 = c + (i + 3) * ldc;
+    TA* c0 = c + (i + 0) * ldc;
+    TA* c1 = c + (i + 1) * ldc;
+    TA* c2 = c + (i + 2) * ldc;
+    TA* c3 = c + (i + 3) * ldc;
     index_t j = j0;
     for (; j < jv; j += kMicroNR) {
-      vec s0{}, s1{}, s2{}, s3{};
+      avec s0{}, s1{}, s2{}, s3{};
       const T* bj = b + j;
       for (index_t kk = 0; kk < k; ++kk) {
         // The B walk is strided by ldb, which outruns hardware stride
         // prefetchers at large leading dimensions; prefetch a few rows
         // ahead (pure hint, no effect on values).
         __builtin_prefetch(bj + (kk + 8) * ldb);
-        const vec bv = *reinterpret_cast<const vec*>(bj + kk * ldb);
-        s0 += a0[kk] * bv;
-        s1 += a1[kk] * bv;
-        s2 += a2[kk] * bv;
-        s3 += a3[kk] * bv;
+        const avec bv = convert_vec<TA, T>(
+            *reinterpret_cast<const vec*>(bj + kk * ldb));
+        s0 += static_cast<TA>(a0[kk]) * bv;
+        s1 += static_cast<TA>(a1[kk]) * bv;
+        s2 += static_cast<TA>(a2[kk]) * bv;
+        s3 += static_cast<TA>(a3[kk]) * bv;
       }
-      *reinterpret_cast<vec*>(c0 + j) = s0;
-      *reinterpret_cast<vec*>(c1 + j) = s1;
-      *reinterpret_cast<vec*>(c2 + j) = s2;
-      *reinterpret_cast<vec*>(c3 + j) = s3;
+      *reinterpret_cast<avec*>(c0 + j) = s0;
+      *reinterpret_cast<avec*>(c1 + j) = s1;
+      *reinterpret_cast<avec*>(c2 + j) = s2;
+      *reinterpret_cast<avec*>(c3 + j) = s3;
     }
     for (; j < j1; ++j) {
-      T s0{}, s1{}, s2{}, s3{};
+      TA s0{}, s1{}, s2{}, s3{};
       for (index_t kk = 0; kk < k; ++kk) {
-        const T bv = b[kk * ldb + j];
-        s0 += a0[kk] * bv;
-        s1 += a1[kk] * bv;
-        s2 += a2[kk] * bv;
-        s3 += a3[kk] * bv;
+        const TA bv = static_cast<TA>(b[kk * ldb + j]);
+        s0 += static_cast<TA>(a0[kk]) * bv;
+        s1 += static_cast<TA>(a1[kk]) * bv;
+        s2 += static_cast<TA>(a2[kk]) * bv;
+        s3 += static_cast<TA>(a3[kk]) * bv;
       }
       c0[j] = s0;
       c1[j] = s1;
@@ -323,20 +373,23 @@ inline void ttm_cols_simd(index_t m, index_t k, const T* a, const T* b,
   }
   for (; i < m; ++i) {
     const T* ai = a + i * k;
-    T* ci = c + i * ldc;
+    TA* ci = c + i * ldc;
     index_t j = j0;
     for (; j < jv; j += kMicroNR) {
-      vec s{};
+      avec s{};
       const T* bj = b + j;
       for (index_t kk = 0; kk < k; ++kk) {
         __builtin_prefetch(bj + (kk + 8) * ldb);
-        s += ai[kk] * *reinterpret_cast<const vec*>(bj + kk * ldb);
+        s += static_cast<TA>(ai[kk]) *
+             convert_vec<TA, T>(
+                 *reinterpret_cast<const vec*>(bj + kk * ldb));
       }
-      *reinterpret_cast<vec*>(ci + j) = s;
+      *reinterpret_cast<avec*>(ci + j) = s;
     }
     for (; j < j1; ++j) {
-      T s{};
-      for (index_t kk = 0; kk < k; ++kk) s += ai[kk] * b[kk * ldb + j];
+      TA s{};
+      for (index_t kk = 0; kk < k; ++kk)
+        s += static_cast<TA>(ai[kk]) * static_cast<TA>(b[kk * ldb + j]);
       ci[j] = s;
     }
   }
@@ -344,9 +397,9 @@ inline void ttm_cols_simd(index_t m, index_t k, const T* a, const T* b,
 
 #else
 
-template <class T>
+template <class T, class TA>
 inline void ttm_cols_simd(index_t m, index_t k, const T* a, const T* b,
-                          index_t ldb, T* c, index_t ldc, index_t j0,
+                          index_t ldb, TA* c, index_t ldc, index_t j0,
                           index_t j1) {
   ttm_cols_scalar(m, k, a, b, ldb, c, ldc, j0, j1);
 }
@@ -363,42 +416,44 @@ inline void ttm_cols_simd(index_t m, index_t k, const T* a, const T* b,
 /// C slab stays cache-resident across the k sweep. Per-element chain is
 /// identical to ttm_cols_scalar: zero start, one `c += a * b` per k step,
 /// ascending k.
-template <class T>
+template <class T, class TA>
 inline void ttm_rows_simd(index_t m, index_t k, const T* a, const T* b,
-                          index_t ldb, T* c, index_t ldc, index_t j0,
+                          index_t ldb, TA* c, index_t ldc, index_t j0,
                           index_t j1) {
   using vec = typename MicroVec<T>::type;
+  using avec = typename MicroVec<TA>::type;
   for (index_t r = 0; r < m; ++r)
-    for (index_t j = j0; j < j1; ++j) c[r * ldc + j] = T(0);
+    for (index_t j = j0; j < j1; ++j) c[r * ldc + j] = TA(0);
   const index_t jv = j0 + (j1 - j0) / kMicroNR * kMicroNR;
   for (index_t kk = 0; kk < k; ++kk) {
     const T* bv = b + kk * ldb;
     index_t i = 0;
     for (; i + 4 <= m; i += 4) {
-      const T a0 = a[(i + 0) * k + kk];
-      const T a1 = a[(i + 1) * k + kk];
-      const T a2 = a[(i + 2) * k + kk];
-      const T a3 = a[(i + 3) * k + kk];
-      T* c0 = c + (i + 0) * ldc;
-      T* c1 = c + (i + 1) * ldc;
-      T* c2 = c + (i + 2) * ldc;
-      T* c3 = c + (i + 3) * ldc;
+      const TA a0 = static_cast<TA>(a[(i + 0) * k + kk]);
+      const TA a1 = static_cast<TA>(a[(i + 1) * k + kk]);
+      const TA a2 = static_cast<TA>(a[(i + 2) * k + kk]);
+      const TA a3 = static_cast<TA>(a[(i + 3) * k + kk]);
+      TA* c0 = c + (i + 0) * ldc;
+      TA* c1 = c + (i + 1) * ldc;
+      TA* c2 = c + (i + 2) * ldc;
+      TA* c3 = c + (i + 3) * ldc;
       index_t j = j0;
       for (; j < jv; j += kMicroNR) {
         // Keep several B lines in flight ahead of the walk (pure hint).
         __builtin_prefetch(bv + j + 16 * kMicroNR);
-        const vec bw = *reinterpret_cast<const vec*>(bv + j);
-        vec* w0 = reinterpret_cast<vec*>(c0 + j);
-        vec* w1 = reinterpret_cast<vec*>(c1 + j);
-        vec* w2 = reinterpret_cast<vec*>(c2 + j);
-        vec* w3 = reinterpret_cast<vec*>(c3 + j);
+        const avec bw =
+            convert_vec<TA, T>(*reinterpret_cast<const vec*>(bv + j));
+        avec* w0 = reinterpret_cast<avec*>(c0 + j);
+        avec* w1 = reinterpret_cast<avec*>(c1 + j);
+        avec* w2 = reinterpret_cast<avec*>(c2 + j);
+        avec* w3 = reinterpret_cast<avec*>(c3 + j);
         *w0 += a0 * bw;
         *w1 += a1 * bw;
         *w2 += a2 * bw;
         *w3 += a3 * bw;
       }
       for (; j < j1; ++j) {
-        const T bs = bv[j];
+        const TA bs = static_cast<TA>(bv[j]);
         c0[j] += a0 * bs;
         c1[j] += a1 * bs;
         c2[j] += a2 * bs;
@@ -406,23 +461,23 @@ inline void ttm_rows_simd(index_t m, index_t k, const T* a, const T* b,
       }
     }
     for (; i < m; ++i) {
-      const T ai = a[i * k + kk];
-      T* ci = c + i * ldc;
+      const TA ai = static_cast<TA>(a[i * k + kk]);
+      TA* ci = c + i * ldc;
       index_t j = j0;
       for (; j < jv; j += kMicroNR) {
-        vec* w = reinterpret_cast<vec*>(ci + j);
-        *w += ai * *reinterpret_cast<const vec*>(bv + j);
+        avec* w = reinterpret_cast<avec*>(ci + j);
+        *w += ai * convert_vec<TA, T>(*reinterpret_cast<const vec*>(bv + j));
       }
-      for (; j < j1; ++j) ci[j] += ai * bv[j];
+      for (; j < j1; ++j) ci[j] += ai * static_cast<TA>(bv[j]);
     }
   }
 }
 
 #else
 
-template <class T>
+template <class T, class TA>
 inline void ttm_rows_simd(index_t m, index_t k, const T* a, const T* b,
-                          index_t ldb, T* c, index_t ldc, index_t j0,
+                          index_t ldb, TA* c, index_t ldc, index_t j0,
                           index_t j1) {
   ttm_cols_scalar(m, k, a, b, ldb, c, ldc, j0, j1);
 }
@@ -433,10 +488,10 @@ inline void ttm_rows_simd(index_t m, index_t k, const T* a, const T* b,
 /// B-walk: register tiles over a cache-resident block, or the sequential
 /// row-update walk for DRAM-resident blocks. All variants share one
 /// per-element accumulation chain, so engine, variant and walk order are
-/// bitwise-interchangeable.
-template <class T>
+/// bitwise-interchangeable (for either accumulator width).
+template <class T, class TA>
 inline void ttm_cols(bool simd, bool stream, index_t m, index_t k, const T* a,
-                     const T* b, index_t ldb, T* c, index_t ldc, index_t j0,
+                     const T* b, index_t ldb, TA* c, index_t ldc, index_t j0,
                      index_t j1) {
   if (!simd) {
     ttm_cols_scalar(m, k, a, b, ldb, c, ldc, j0, j1);
@@ -454,20 +509,20 @@ inline void ttm_cols(bool simd, bool stream, index_t m, index_t k, const T* a,
 /// zero-padded columns beyond r), so both operands stream unit-stride --
 /// this replaces the strided `.t()` gemm views of the reference path.
 /// Requires r <= kTtmAxpyMaxR.
-template <class T>
+template <class T, class TA = T>
 inline void ttm_mode0_scalar(index_t k, index_t r, const T* ut, index_t ldut,
                              const T* x, T* y, index_t c0, index_t c1) {
-  T acc[kTtmAxpyMaxR];
+  TA acc[kTtmAxpyMaxR];
   for (index_t c = c0; c < c1; ++c) {
     const T* xc = x + c * k;
-    for (index_t q = 0; q < r; ++q) acc[q] = T(0);
+    for (index_t q = 0; q < r; ++q) acc[q] = TA(0);
     for (index_t kk = 0; kk < k; ++kk) {
-      const T xv = xc[kk];
+      const TA xv = static_cast<TA>(xc[kk]);
       const T* uv = ut + kk * ldut;
-      for (index_t q = 0; q < r; ++q) acc[q] += xv * uv[q];
+      for (index_t q = 0; q < r; ++q) acc[q] += xv * static_cast<TA>(uv[q]);
     }
     T* yc = y + c * r;
-    for (index_t q = 0; q < r; ++q) yc[q] = acc[q];
+    for (index_t q = 0; q < r; ++q) yc[q] = static_cast<T>(acc[q]);
   }
 }
 
@@ -481,16 +536,17 @@ inline void ttm_mode0_scalar(index_t k, index_t r, const T* ut, index_t ldut,
 /// NV has enough chains per column. ldut padding keeps the trailing lanes
 /// at exact zero, and those lanes are never stored. Per-element arithmetic
 /// is identical to the scalar kernel.
-template <class T, int NV>
+template <class T, class TA, int NV>
 inline void ttm_mode0_cols_nv(index_t k, index_t r, const T* ut, index_t ldut,
                               const T* x, T* y, index_t c0, index_t c1) {
   using vec = typename MicroVec<T>::type;
-  auto store_fiber = [r](const vec* acc, T* yc) {
+  using avec = typename MicroVec<TA>::type;
+  auto store_fiber = [r](const avec* acc, T* yc) {
     index_t q = 0;
     for (; (q + 1) * kMicroNR <= r; ++q)
-      *reinterpret_cast<vec*>(yc + q * kMicroNR) = acc[q];
+      *reinterpret_cast<vec*>(yc + q * kMicroNR) = convert_vec<T, TA>(acc[q]);
     for (index_t j = q * kMicroNR; j < r; ++j)
-      yc[j] = acc[q][j - q * kMicroNR];
+      yc[j] = static_cast<T>(acc[q][j - q * kMicroNR]);
   };
   index_t c = c0;
   // Pair columns only while 2*NV accumulators plus the U row still fit the
@@ -500,18 +556,20 @@ inline void ttm_mode0_cols_nv(index_t k, index_t r, const T* ut, index_t ldut,
     for (; c + 2 <= c1; c += 2) {
       const T* xa = x + c * k;
       const T* xb = xa + k;
-      vec sa[NV], sb[NV];
+      avec sa[NV], sb[NV];
       for (int q = 0; q < NV; ++q) {
-        sa[q] = vec{};
-        sb[q] = vec{};
+        sa[q] = avec{};
+        sb[q] = avec{};
       }
       for (index_t kk = 0; kk < k; ++kk) {
-        const vec* uv = reinterpret_cast<const vec*>(ut + kk * ldut);
-        const T va = xa[kk];
-        const T vb = xb[kk];
+        const T* urow = ut + kk * ldut;
+        const TA va = static_cast<TA>(xa[kk]);
+        const TA vb = static_cast<TA>(xb[kk]);
         for (int q = 0; q < NV; ++q) {
-          sa[q] += va * uv[q];
-          sb[q] += vb * uv[q];
+          const avec uw = convert_vec<TA, T>(
+              *reinterpret_cast<const vec*>(urow + q * kMicroNR));
+          sa[q] += va * uw;
+          sb[q] += vb * uw;
         }
       }
       store_fiber(sa, y + c * r);
@@ -520,52 +578,54 @@ inline void ttm_mode0_cols_nv(index_t k, index_t r, const T* ut, index_t ldut,
   }
   for (; c < c1; ++c) {
     const T* xc = x + c * k;
-    vec s[NV];
-    for (int q = 0; q < NV; ++q) s[q] = vec{};
+    avec s[NV];
+    for (int q = 0; q < NV; ++q) s[q] = avec{};
     for (index_t kk = 0; kk < k; ++kk) {
-      const vec* uv = reinterpret_cast<const vec*>(ut + kk * ldut);
-      const T xv = xc[kk];
-      for (int q = 0; q < NV; ++q) s[q] += xv * uv[q];
+      const T* urow = ut + kk * ldut;
+      const TA xv = static_cast<TA>(xc[kk]);
+      for (int q = 0; q < NV; ++q)
+        s[q] += xv * convert_vec<TA, T>(
+                         *reinterpret_cast<const vec*>(urow + q * kMicroNR));
     }
     store_fiber(s, y + c * r);
   }
 }
 
-template <class T>
+template <class T, class TA = T>
 inline void ttm_mode0_simd(index_t k, index_t r, const T* ut, index_t ldut,
                            const T* x, T* y, index_t c0, index_t c1) {
   static_assert(kTtmAxpyMaxR / kMicroNR == 8, "dispatch covers NV = 1..8");
   switch ((r + kMicroNR - 1) / kMicroNR) {
-    case 1: return ttm_mode0_cols_nv<T, 1>(k, r, ut, ldut, x, y, c0, c1);
-    case 2: return ttm_mode0_cols_nv<T, 2>(k, r, ut, ldut, x, y, c0, c1);
-    case 3: return ttm_mode0_cols_nv<T, 3>(k, r, ut, ldut, x, y, c0, c1);
-    case 4: return ttm_mode0_cols_nv<T, 4>(k, r, ut, ldut, x, y, c0, c1);
-    case 5: return ttm_mode0_cols_nv<T, 5>(k, r, ut, ldut, x, y, c0, c1);
-    case 6: return ttm_mode0_cols_nv<T, 6>(k, r, ut, ldut, x, y, c0, c1);
-    case 7: return ttm_mode0_cols_nv<T, 7>(k, r, ut, ldut, x, y, c0, c1);
-    case 8: return ttm_mode0_cols_nv<T, 8>(k, r, ut, ldut, x, y, c0, c1);
-    default: return ttm_mode0_scalar(k, r, ut, ldut, x, y, c0, c1);
+    case 1: return ttm_mode0_cols_nv<T, TA, 1>(k, r, ut, ldut, x, y, c0, c1);
+    case 2: return ttm_mode0_cols_nv<T, TA, 2>(k, r, ut, ldut, x, y, c0, c1);
+    case 3: return ttm_mode0_cols_nv<T, TA, 3>(k, r, ut, ldut, x, y, c0, c1);
+    case 4: return ttm_mode0_cols_nv<T, TA, 4>(k, r, ut, ldut, x, y, c0, c1);
+    case 5: return ttm_mode0_cols_nv<T, TA, 5>(k, r, ut, ldut, x, y, c0, c1);
+    case 6: return ttm_mode0_cols_nv<T, TA, 6>(k, r, ut, ldut, x, y, c0, c1);
+    case 7: return ttm_mode0_cols_nv<T, TA, 7>(k, r, ut, ldut, x, y, c0, c1);
+    case 8: return ttm_mode0_cols_nv<T, TA, 8>(k, r, ut, ldut, x, y, c0, c1);
+    default: return ttm_mode0_scalar<T, TA>(k, r, ut, ldut, x, y, c0, c1);
   }
 }
 
 #else
 
-template <class T>
+template <class T, class TA = T>
 inline void ttm_mode0_simd(index_t k, index_t r, const T* ut, index_t ldut,
                            const T* x, T* y, index_t c0, index_t c1) {
-  ttm_mode0_scalar(k, r, ut, ldut, x, y, c0, c1);
+  ttm_mode0_scalar<T, TA>(k, r, ut, ldut, x, y, c0, c1);
 }
 
 #endif  // TUCKER_HAVE_VEC_EXT
 
-template <class T>
+template <class T, class TA = T>
 inline void ttm_mode0_cols(bool simd, index_t k, index_t r, const T* ut,
                            index_t ldut, const T* x, T* y, index_t c0,
                            index_t c1) {
   if (simd) {
-    ttm_mode0_simd(k, r, ut, ldut, x, y, c0, c1);
+    ttm_mode0_simd<T, TA>(k, r, ut, ldut, x, y, c0, c1);
   } else {
-    ttm_mode0_scalar(k, r, ut, ldut, x, y, c0, c1);
+    ttm_mode0_scalar<T, TA>(k, r, ut, ldut, x, y, c0, c1);
   }
 }
 
@@ -573,7 +633,7 @@ inline void ttm_mode0_cols(bool simd, index_t k, index_t r, const T* ut,
 /// MR x NR buffer seeded from the live C entries, then stores back only the
 /// live region. Padded A rows / B columns are zero, so the live elements
 /// see exactly the same accumulation chain as in a full tile.
-template <class T>
+template <class T, class TA = T>
 inline void mk_tile_edge(bool simd, index_t kn, const T* ap, const T* bp,
                          T* c, index_t ldc, index_t mr, index_t nr) {
   T ctmp[kMicroMR * kMicroNR];
@@ -581,9 +641,11 @@ inline void mk_tile_edge(bool simd, index_t kn, const T* ap, const T* bp,
     for (index_t j = 0; j < kMicroNR; ++j)
       ctmp[r * kMicroNR + j] =
           (r < mr && j < nr) ? c[r * ldc + j] : T(0);
-  mk_tile(simd, kn, ap, bp, ctmp, kMicroNR);
+  mk_tile<T, TA>(simd, kn, ap, bp, ctmp, kMicroNR);
   for (index_t r = 0; r < mr; ++r)
     for (index_t j = 0; j < nr; ++j) c[r * ldc + j] = ctmp[r * kMicroNR + j];
 }
 
 }  // namespace tucker::blas::detail
+
+#pragma GCC diagnostic pop

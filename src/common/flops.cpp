@@ -3,13 +3,19 @@
 namespace tucker {
 namespace {
 thread_local std::int64_t t_flops = 0;
+thread_local std::int64_t t_traffic = 0;
 }  // namespace
 
 void add_flops(std::int64_t n) { t_flops += n; }
 std::int64_t thread_flops() { return t_flops; }
 void reset_thread_flops() { t_flops = 0; }
 
-FlopScope::FlopScope() : start_(t_flops) {}
+void add_traffic(std::int64_t n) { t_traffic += n; }
+std::int64_t thread_traffic() { return t_traffic; }
+void reset_thread_traffic() { t_traffic = 0; }
+
+FlopScope::FlopScope() : start_(t_flops), traffic_start_(t_traffic) {}
 std::int64_t FlopScope::flops() const { return t_flops - start_; }
+std::int64_t FlopScope::traffic() const { return t_traffic - traffic_start_; }
 
 }  // namespace tucker

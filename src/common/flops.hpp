@@ -25,15 +25,34 @@ std::int64_t thread_flops();
 /// Zero the calling thread's flop counter.
 void reset_thread_flops();
 
-/// RAII scope that reports the flops accumulated during its lifetime.
+/// Add `n` bytes to the calling thread's memory-traffic counter. Level-3
+/// kernels credit their *minimum* traffic (each operand streamed once at
+/// its storage width, C read+written once); cache re-reads are not
+/// modeled. Kept separate from the flop counter because mixed-precision
+/// kernels decouple the two: gemm<float,double> performs fp64 flops over
+/// fp32 words, so a roofline column derived from flops alone would
+/// misprice it (satellite: split word-traffic bytes from flop precision).
+void add_traffic(std::int64_t n);
+
+/// Traffic bytes recorded by the calling thread since the last reset.
+std::int64_t thread_traffic();
+
+/// Zero the calling thread's traffic counter.
+void reset_thread_traffic();
+
+/// RAII scope that reports the flops (and traffic bytes) accumulated
+/// during its lifetime.
 class FlopScope {
  public:
   FlopScope();
   /// Flops recorded by this thread since the scope was opened.
   std::int64_t flops() const;
+  /// Traffic bytes recorded by this thread since the scope was opened.
+  std::int64_t traffic() const;
 
  private:
   std::int64_t start_;
+  std::int64_t traffic_start_;
 };
 
 /// Nominal flop counts of the SVD-engine kernels on an m x cols unfolding,
@@ -70,6 +89,34 @@ inline std::int64_t qr_svd_unfolding(std::int64_t m, std::int64_t cols) {
 /// Gram matrix of the unfolding (syrk credit, triangle only).
 inline std::int64_t gram_unfolding(std::int64_t m, std::int64_t cols) {
   return m * (m + 1) * cols;
+}
+
+// Byte models with *explicit* word sizes, so call sites stop hardcoding
+// sizeof(T) and mixed-width ops (fp16 sketch payload over fp32 tensors,
+// fp32 words under fp64 flops) price each operand at its own width.
+
+/// Minimum traffic of gemm C = A*B (+C): every operand streamed once.
+inline std::int64_t gemm_bytes(std::int64_t m, std::int64_t n, std::int64_t k,
+                               std::int64_t word) {
+  return word * (m * k + k * n + 2 * m * n);
+}
+
+/// Minimum traffic of syrk C = A*A^T: A once, C read+written.
+inline std::int64_t syrk_bytes(std::int64_t m, std::int64_t n,
+                               std::int64_t word) {
+  return word * (m * n + 2 * m * m);
+}
+
+/// Sketch S = X_(n) * Omega traffic: the unfolding and S move at the
+/// tensor's word size; the width-w test matrix moves at the (possibly
+/// narrower) payload word size. With the counter-based generator Omega is
+/// never actually materialized -- this is the traffic of the equivalent
+/// streamed gemm, which is what the roofline columns and the simmpi word
+/// model price.
+inline std::int64_t sketch_bytes(std::int64_t m, std::int64_t cols,
+                                 std::int64_t w, std::int64_t tensor_word,
+                                 std::int64_t omega_word) {
+  return tensor_word * (m * cols + 2 * m * w) + omega_word * (cols * w);
 }
 
 }  // namespace flops

@@ -41,6 +41,7 @@ struct Fanout {
   std::atomic<index_t> next{0};
   std::atomic<index_t> done{0};
   std::atomic<std::int64_t> worker_flops{0};
+  std::atomic<std::int64_t> worker_traffic{0};
   std::exception_ptr eptr;
   std::mutex eptr_mutex;
 
@@ -155,15 +156,19 @@ class Pool {
       index_t lo, hi;
       job.chunk_bounds(t, lo, hi);
       const std::int64_t flops0 = on_worker ? thread_flops() : 0;
+      const std::int64_t bytes0 = on_worker ? thread_traffic() : 0;
       try {
         job.body(t, lo, hi);
       } catch (...) {
         std::lock_guard<std::mutex> g(job.eptr_mutex);
         if (!job.eptr) job.eptr = std::current_exception();
       }
-      if (on_worker)
+      if (on_worker) {
         job.worker_flops.fetch_add(thread_flops() - flops0,
                                    std::memory_order_relaxed);
+        job.worker_traffic.fetch_add(thread_traffic() - bytes0,
+                                     std::memory_order_relaxed);
+      }
       if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           job.nchunks) {
         std::lock_guard<std::mutex> g(done_mutex_);
@@ -223,6 +228,8 @@ void run_indexed(index_t begin, index_t end, index_t grain,
   // submitted; fold them into its counter.
   const std::int64_t wf = job->worker_flops.load(std::memory_order_relaxed);
   if (wf != 0) add_flops(wf);
+  const std::int64_t wb = job->worker_traffic.load(std::memory_order_relaxed);
+  if (wb != 0) add_traffic(wb);
   if (job->eptr) std::rethrow_exception(job->eptr);
 }
 

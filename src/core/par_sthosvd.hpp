@@ -134,7 +134,8 @@ ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
                                 const TruncationSpec& spec, SvdMethod method,
                                 std::vector<std::size_t> order = {},
                                 const RandSvdOptions& ropt = {},
-                                const OverlapOptions& ov = {}) {
+                                const OverlapOptions& ov = {},
+                                Accum accum = Accum::kNative) {
   const std::size_t nmodes = x.order();
   mpi::Comm& world = x.world();
   if (order.empty()) order = forward_order(nmodes);
@@ -194,7 +195,7 @@ ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
       auto rg = world.region(label + "/TTM");
       dist::par_ttm_truncate_into(*ycur, n, blas::MatView<const T>(un.view()),
                                   slots[static_cast<std::size_t>(dst)],
-                                  overlap);
+                                  overlap, accum);
       world.sync_cpu_clock();
     }
     ycur = &slots[static_cast<std::size_t>(dst)];
@@ -231,7 +232,7 @@ ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
             ysrc, n, spec.is_fixed_rank() ? spec.ranks[n] : index_t{0},
             threshold_sq, ropt.oversample, ropt.power_iters, ropt.seed,
             ropt.rank_guess, "mode" + std::to_string(n), /*nonblocking=*/true,
-            sk[i], &src_norm_sq);
+            sk[i], &src_norm_sq, accum);
       }
       const std::vector<std::size_t> sched =
           detail::sketch_finalize_schedule(ysrc, order, pos, nwin, spec, ropt);
@@ -268,7 +269,8 @@ ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
       blas::Matrix<T> g(0, 0);
       {
         auto rg = world.region(label + "/Gram");
-        g = dist::par_gram(y, n, overlap ? ov.gram_pieces : index_t{1});
+        g = dist::par_gram(y, n, overlap ? ov.gram_pieces : index_t{1},
+                           accum);
       }
       auto rg = world.region(label + "/EVD");
       auto eig = la::tridiag_eig(blas::MatView<const T>(g.view()));
@@ -282,7 +284,7 @@ ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
       auto basis = dist::par_rand_svd(
           y, n, spec.is_fixed_rank() ? spec.ranks[n] : index_t{0},
           threshold_sq, ropt.oversample, ropt.power_iters, ropt.seed,
-          ropt.rank_guess, label);
+          ropt.rank_guess, label, accum);
       sigma_sq = std::move(basis.sigma_sq);
       u = std::move(basis.u);
     } else {
@@ -336,7 +338,7 @@ ParSthosvdResult<T> par_sthosvd(const dist::DistTensor<T>& x,
                                 const SthosvdOptions& opt) {
   return par_sthosvd(x, spec, method,
                      resolve_order(x.global_dims(), spec, method, opt),
-                     opt.rand, opt.overlap);
+                     opt.rand, opt.overlap, opt.accum);
 }
 
 }  // namespace tucker::core

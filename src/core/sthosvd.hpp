@@ -166,6 +166,11 @@ struct SthosvdOptions {
   std::vector<index_t> rank_estimates;
   RandSvdOptions rand;
   OverlapOptions overlap;
+  /// Accumulator width for the flop-dominant kernels (Gram/sketch gemms,
+  /// truncation TTMs, pipelined-Jacobi rotations). kWide widens fp32 to
+  /// fp64 register accumulators at unchanged storage; for T = double it is
+  /// the identity. Defaults from TUCKER_ACCUM (DESIGN.md Sec 13).
+  Accum accum = tune::accum_wide_default() ? Accum::kWide : Accum::kNative;
 };
 
 inline std::vector<std::size_t> resolve_order(const tensor::Dims& dims,
@@ -225,7 +230,8 @@ template <class T>
 SthosvdResult<T> sthosvd(const tensor::Tensor<T>& x,
                          const TruncationSpec& spec, SvdMethod method,
                          std::vector<std::size_t> order = {},
-                         const RandSvdOptions& ropt = {}) {
+                         const RandSvdOptions& ropt = {},
+                         Accum accum = Accum::kNative) {
   const std::size_t nmodes = x.order();
   if (order.empty()) order = forward_order(nmodes);
   TUCKER_CHECK(order.size() == nmodes, "sthosvd: order must list every mode");
@@ -259,7 +265,7 @@ SthosvdResult<T> sthosvd(const tensor::Tensor<T>& x,
     // energy budget) to size its sketch; Gram/QR ignore both extras.
     ModeSvd<T> svd = mode_svd(
         y, n, method, spec.is_fixed_rank() ? spec.ranks[n] : index_t{0},
-        threshold_sq, ropt);
+        threshold_sq, ropt, accum);
 
     std::vector<T>& sig = out.mode_sigmas[n];
     sig.resize(svd.sigma_sq.size());
@@ -279,7 +285,8 @@ SthosvdResult<T> sthosvd(const tensor::Tensor<T>& x,
     blas::copy(blas::MatView<const T>(svd.u.view().block(0, 0, y.dim(n), r)),
                u.view());
     // Truncate: Y <- Y x_n U^T, into the other ping-pong slot.
-    tensor::ttm_into(y, n, blas::MatView<const T>(u.view().t()), pp[slot]);
+    tensor::ttm_into(y, n, blas::MatView<const T>(u.view().t()), pp[slot],
+                     accum);
     ycur = &pp[static_cast<std::size_t>(slot)];
     slot ^= 1;
     out.tucker.factors[n] = std::move(u);
@@ -298,7 +305,7 @@ SthosvdResult<T> sthosvd(const tensor::Tensor<T>& x,
                          const TruncationSpec& spec, SvdMethod method,
                          const SthosvdOptions& opt) {
   return sthosvd(x, spec, method, resolve_order(x.dims(), spec, method, opt),
-                 opt.rand);
+                 opt.rand, opt.accum);
 }
 
 }  // namespace tucker::core

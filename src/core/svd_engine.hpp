@@ -91,8 +91,9 @@ enum class EvdBackend { kJacobi, kTridiagonalQl };
 /// symmetric eigensolver).
 template <class T>
 ModeSvd<T> gram_svd(const Tensor<T>& y, std::size_t n,
-                    EvdBackend backend = EvdBackend::kTridiagonalQl) {
-  blas::Matrix<T> g = tensor::gram_of_unfolding(y, n);
+                    EvdBackend backend = EvdBackend::kTridiagonalQl,
+                    Accum accum = Accum::kNative) {
+  blas::Matrix<T> g = tensor::gram_of_unfolding(y, n, accum);
   auto eig = backend == EvdBackend::kTridiagonalQl
                  ? la::tridiag_eig(blas::MatView<const T>(g.view()))
                  : la::jacobi_eig(blas::MatView<const T>(g.view()));
@@ -105,37 +106,58 @@ ModeSvd<T> gram_svd(const Tensor<T>& y, std::size_t n,
 
 /// Dense solver used for the small SVD of the triangular factor:
 /// Golub-Kahan bidiagonalization with shifted/zero-shift QR (the classical
-/// gesvd-style algorithm the paper calls; default) or one-sided Jacobi with
-/// de Rijk pivoting (simplest, very accurate on this preconditioned input).
-enum class SmallSvdBackend { kJacobi, kGolubKahan };
+/// gesvd-style algorithm the paper calls; default), one-sided Jacobi with
+/// de Rijk pivoting (simplest, very accurate on this preconditioned input),
+/// or the blocked pipelined Jacobi (same mathematics as kJacobi, panel-pair
+/// schedule that runs rotations on the thread pool; the only small-SVD
+/// backend whose rotations honor Accum::kWide).
+enum class SmallSvdBackend { kJacobi, kJacobiPipelined, kGolubKahan };
 
 /// Small SVD of an LQ triangle: the shared back half of qr_svd and the
 /// streaming engine (both must take the identical code path so a
-/// single-chunk stream is bitwise equal to the in-memory QR-SVD).
+/// single-chunk stream is bitwise equal to the in-memory QR-SVD). `accum`
+/// reaches only the pipelined Jacobi backend: the Golub-Kahan and classic
+/// Jacobi solvers are native-precision reference paths by design.
 template <class T>
-ModeSvd<T> svd_of_l(blas::Matrix<T> l, SmallSvdBackend backend) {
+ModeSvd<T> svd_of_l(blas::Matrix<T> l, SmallSvdBackend backend,
+                    Accum accum = Accum::kNative) {
   ModeSvd<T> out;
-  if (backend == SmallSvdBackend::kGolubKahan && l.rows() >= l.cols() &&
-      l.cols() >= 1) {
-    auto svd = la::bidiag_svd(blas::MatView<const T>(l.view()));
+  auto take = [&](auto svd) {
     out.sigma_sq.reserve(svd.sigma.size());
     for (T s : svd.sigma) out.sigma_sq.push_back(s * s);
     out.u = std::move(svd.u);
-    return out;
+  };
+  switch (backend) {
+    case SmallSvdBackend::kGolubKahan:
+      if (l.rows() >= l.cols() && l.cols() >= 1) {
+        take(la::bidiag_svd(blas::MatView<const T>(l.view())));
+        return out;
+      }
+      break;  // short-fat or empty: fall through to Jacobi below
+    case SmallSvdBackend::kJacobiPipelined:
+      if (accum == Accum::kWide) {
+        take(la::jacobi_svd_pipelined<T, wide_t<T>>(
+            blas::MatView<const T>(l.view())));
+      } else {
+        take(la::jacobi_svd_pipelined(blas::MatView<const T>(l.view())));
+      }
+      return out;
+    case SmallSvdBackend::kJacobi:
+      break;
   }
-  auto svd = la::jacobi_svd(blas::MatView<const T>(l.view()));
-  out.sigma_sq.reserve(svd.sigma.size());
-  for (T s : svd.sigma) out.sigma_sq.push_back(s * s);
-  out.u = std::move(svd.u);
+  take(la::jacobi_svd(blas::MatView<const T>(l.view())));
   return out;
 }
 
 /// SVD of the mode-n unfolding via LQ preprocessing (paper Alg 2 + SVD of
-/// the triangular factor, right singular vectors never formed).
+/// the triangular factor, right singular vectors never formed). The LQ
+/// itself is Householder-based and stays at native precision (DESIGN.md
+/// Sec 13); accum reaches the small SVD via svd_of_l.
 template <class T>
 ModeSvd<T> qr_svd(const Tensor<T>& y, std::size_t n,
-                  SmallSvdBackend backend = SmallSvdBackend::kGolubKahan) {
-  return svd_of_l(tensor::tensor_lq(y, n), backend);
+                  SmallSvdBackend backend = SmallSvdBackend::kGolubKahan,
+                  Accum accum = Accum::kNative) {
+  return svd_of_l(tensor::tensor_lq(y, n), backend, accum);
 }
 
 /// Hierarchical streaming QR-SVD (SvdMethod::kStream): the unfolding's LQ
@@ -147,11 +169,13 @@ ModeSvd<T> qr_svd(const Tensor<T>& y, std::size_t n,
 template <class T>
 ModeSvd<T> stream_svd(const Tensor<T>& y, std::size_t n,
                       index_t chunk_slices = 0,
-                      SmallSvdBackend backend = SmallSvdBackend::kGolubKahan) {
+                      SmallSvdBackend backend = SmallSvdBackend::kGolubKahan,
+                      Accum accum = Accum::kNative) {
   if (chunk_slices <= 0)
     chunk_slices =
         stream::chunk_slices_for_budget<T>(y.dims(), tune::stream_chunk_bytes());
-  return svd_of_l(stream::chunked_unfolding_lq(y, n, chunk_slices), backend);
+  return svd_of_l(stream::chunked_unfolding_lq(y, n, chunk_slices), backend,
+                  accum);
 }
 
 /// Knobs of the randomized range finder. Defaults follow the HMT
@@ -198,7 +222,8 @@ struct RandSvdOptions {
 /// so results are bitwise identical at any TUCKER_NUM_THREADS.
 template <class T>
 ModeSvd<T> rand_svd(const Tensor<T>& y, std::size_t n, index_t fixed_rank,
-                    double threshold_sq, const RandSvdOptions& opt = {}) {
+                    double threshold_sq, const RandSvdOptions& opt = {},
+                    Accum accum = Accum::kNative) {
   const index_t m = y.dim(n);
   const index_t cols = tensor::prod_before(y.dims(), n) *
                        tensor::prod_after(y.dims(), n);
@@ -238,7 +263,7 @@ ModeSvd<T> rand_svd(const Tensor<T>& y, std::size_t n, index_t fixed_rank,
   index_t wprev = 0;
   for (;;) {
     tensor::sketch_unfolding_cols(y, n, stream, wprev, w,
-                                  sall.block(0, wprev, m, w - wprev));
+                                  sall.block(0, wprev, m, w - wprev), accum);
     auto wv = blas::MatView<T>::row_major(wdata, m, w);
     blas::copy(blas::MatView<const T>(sall.block(0, 0, m, w)), wv);
     auto qv = blas::MatView<T>::row_major(qdata, m, w);
@@ -247,13 +272,14 @@ ModeSvd<T> rand_svd(const Tensor<T>& y, std::size_t n, index_t fixed_rank,
       // iteration; unstabilized powers underflow past a few iterations).
       la::geqrf(wv, tau);
       la::form_q_into(blas::MatView<const T>(wv), tau, qv);
-      tensor::unfolding_aat_multiply(y, n, blas::MatView<const T>(qv), wv);
+      tensor::unfolding_aat_multiply(y, n, blas::MatView<const T>(qv), wv,
+                                     accum);
     }
     la::geqrf(wv, tau);
     la::form_q_into(blas::MatView<const T>(wv), tau, qv);
 
     auto gv = blas::MatView<T>::row_major(gdata, w, w);
-    tensor::projected_gram(y, n, blas::MatView<const T>(qv), gv);
+    tensor::projected_gram(y, n, blas::MatView<const T>(qv), gv, accum);
     auto eig = la::tridiag_eig(blas::MatView<const T>(gv));
 
     double captured = 0;
@@ -283,8 +309,14 @@ ModeSvd<T> rand_svd(const Tensor<T>& y, std::size_t n, index_t fixed_rank,
     }
     if (accept) {
       out.u = blas::Matrix<T>(m, w);
-      blas::gemm(T(1), blas::MatView<const T>(qv),
-                 blas::MatView<const T>(eig.v.view()), T(0), out.u.view());
+      if (accum == Accum::kWide) {
+        blas::gemm<T, wide_t<T>>(T(1), blas::MatView<const T>(qv),
+                                 blas::MatView<const T>(eig.v.view()), T(0),
+                                 out.u.view());
+      } else {
+        blas::gemm(T(1), blas::MatView<const T>(qv),
+                   blas::MatView<const T>(eig.v.view()), T(0), out.u.view());
+      }
       return out;
     }
     wprev = w;
@@ -298,16 +330,17 @@ ModeSvd<T> rand_svd(const Tensor<T>& y, std::size_t n, index_t fixed_rank,
 template <class T>
 ModeSvd<T> mode_svd(const Tensor<T>& y, std::size_t n, SvdMethod method,
                     index_t fixed_rank, double threshold_sq,
-                    const RandSvdOptions& ropt = {}) {
+                    const RandSvdOptions& ropt = {},
+                    Accum accum = Accum::kNative) {
   switch (method) {
     case SvdMethod::kGram:
-      return gram_svd(y, n);
+      return gram_svd(y, n, EvdBackend::kTridiagonalQl, accum);
     case SvdMethod::kQr:
-      return qr_svd(y, n);
+      return qr_svd(y, n, SmallSvdBackend::kGolubKahan, accum);
     case SvdMethod::kRand:
-      return rand_svd(y, n, fixed_rank, threshold_sq, ropt);
+      return rand_svd(y, n, fixed_rank, threshold_sq, ropt, accum);
     case SvdMethod::kStream:
-      return stream_svd(y, n);
+      return stream_svd(y, n, 0, SmallSvdBackend::kGolubKahan, accum);
   }
   TUCKER_CHECK(false, "mode_svd: unknown method");
   return {};

@@ -34,6 +34,26 @@ struct CostModel {
     return alpha + beta * static_cast<double>(bytes);
   }
 
+  /// Modeled compute cost of `flops` floating-point operations.
+  /// `fp32_native` doubles the modeled rate: fp32 storage with fp32 (or
+  /// fp64-register) accumulation moves half the bytes and packs twice the
+  /// lanes per SIMD op, which is the same 2x the beta term already grants
+  /// single-precision messages. Wide *memory* accumulation is charged at
+  /// the fp64 rate by passing fp32_native = false.
+  double flop_cost(std::int64_t flops, bool fp32_native = false) const {
+    const double rate = fp32_native ? 2.0 * flop_rate : flop_rate;
+    return static_cast<double>(flops) / rate;
+  }
+
+  /// Bytes of one collective payload of `words` words at `bytes_per_word`
+  /// storage -- the hook the sketch/TTM credit tables use to price fp32
+  /// (4-byte) or fp16-payload (2-byte Omega) traffic without touching the
+  /// word-count helpers below.
+  static std::int64_t payload_bytes(std::int64_t words,
+                                    std::int64_t bytes_per_word) {
+    return words * bytes_per_word;
+  }
+
   /// Modeled cost of the runtime's allreduce (binomial reduce + binomial
   /// broadcast, see Comm::allreduce_bytes): 2*ceil(log2 p) rounds, the full
   /// buffer per round. Used by benches to print modeled communication

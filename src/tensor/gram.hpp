@@ -9,27 +9,40 @@
 
 #include "blas/gemm.hpp"
 #include "blas/matrix.hpp"
+#include "common/precision.hpp"
 #include "tensor/tensor.hpp"
 
 namespace tucker::tensor {
 
-/// G = X_(n) X_(n)^T (I_n x I_n, symmetric, accumulated in working
-/// precision exactly like TuckerMPI's syrk-based implementation).
+/// G = X_(n) X_(n)^T (I_n x I_n, symmetric). With Accum::kNative this is
+/// accumulated in working precision exactly like TuckerMPI's syrk-based
+/// implementation; Accum::kWide keeps the syrk register tiles in
+/// wide_t<T>, spilling at storage width once per k block *and* once per
+/// unfolding block (the block loop reuses G as its accumulator), which
+/// still cuts the Gram's forward error by ~the block depth.
 template <class T>
-blas::Matrix<T> gram_of_unfolding(const Tensor<T>& x, std::size_t n) {
+blas::Matrix<T> gram_of_unfolding(const Tensor<T>& x, std::size_t n,
+                                  Accum accum = Accum::kNative) {
   TUCKER_CHECK(n < x.order(), "gram_of_unfolding: mode out of range");
   const index_t m = x.dim(n);
   blas::Matrix<T> g(m, m);
   if (x.size() == 0) return g;
 
-  if (n == 0) {
-    blas::syrk(T(1), unfolding_mode0(x), T(0), g.view());
-  } else {
-    const index_t nblocks = unfolding_num_blocks(x, n);
-    for (index_t j = 0; j < nblocks; ++j) {
-      blas::syrk(T(1), unfolding_block(x, n, j), j == 0 ? T(0) : T(1),
-                 g.view());
+  auto run = [&]<class TA>(std::type_identity<TA>) {
+    if (n == 0) {
+      blas::syrk<T, TA>(T(1), unfolding_mode0(x), T(0), g.view());
+    } else {
+      const index_t nblocks = unfolding_num_blocks(x, n);
+      for (index_t j = 0; j < nblocks; ++j) {
+        blas::syrk<T, TA>(T(1), unfolding_block(x, n, j),
+                          j == 0 ? T(0) : T(1), g.view());
+      }
     }
+  };
+  if (accum == Accum::kWide) {
+    run(std::type_identity<wide_t<T>>{});
+  } else {
+    run(std::type_identity<T>{});
   }
   return g;
 }

@@ -25,7 +25,9 @@
 #include "blas/blas1.hpp"
 #include "blas/gemm.hpp"
 #include "blas/matview.hpp"
+#include "common/precision.hpp"
 #include "common/rng.hpp"
+#include "common/tuning.hpp"
 #include "common/workspace.hpp"
 #include "tensor/tensor.hpp"
 
@@ -37,6 +39,38 @@ namespace detail {
 /// panel scratch stays cache-resident.
 constexpr index_t kSketchPanel = 128;
 }  // namespace detail
+
+/// Storage width of the Gaussian test matrix. kHalf rounds every Omega draw
+/// through IEEE binary16 (software conversion, round-to-nearest-even)
+/// before it enters the sketch accumulation, which stays at working (or
+/// wide) precision -- fp16 is a *storage* format here, never an
+/// accumulator. Because the range-finder only needs Omega to span the
+/// row space of the unfolding (HMT), a quantized Gaussian is still a
+/// perfectly good test matrix: the rung of the randomized engine is set by
+/// the working-precision factorization, not by Omega's mantissa. The
+/// quantizer is a pure elementwise function of the counter-based draw, so
+/// every thread count and every simmpi grid sees identical sketch bits,
+/// and the modeled Omega word traffic drops to 2 bytes
+/// (flops::sketch_bytes, simmpi cost model).
+enum class SketchPayload { kNative, kHalf };
+
+/// Active sketch payload. Defaults once from TUCKER_SKETCH_HALF; mutable at
+/// runtime (same idiom as ttm_engine / kernel_variant) so tests and benches
+/// can flip payloads within one binary. Not meant to change mid-sketch.
+inline SketchPayload& sketch_payload() {
+  static SketchPayload p = tune::sketch_half_default() ? SketchPayload::kHalf
+                                                       : SketchPayload::kNative;
+  return p;
+}
+
+/// Bytes per stored Omega word under payload `p`, given the tensor's own
+/// word size (the native payload stores Omega at working precision).
+inline std::int64_t sketch_payload_word(SketchPayload p,
+                                        std::int64_t native_word) {
+  return p == SketchPayload::kHalf
+             ? static_cast<std::int64_t>(precision<half>::bytes_per_word)
+             : native_word;
+}
 
 /// Visits the mode-n unfolding of `t` as a sequence of m x len column
 /// panels, calling f(panel, c0) where c0 is the first *local* unfolding
@@ -76,7 +110,8 @@ void for_each_unfolding_panel(const Tensor<T>& t, std::size_t n, F&& f) {
 template <class T, class ColMap>
 void sketch_unfolding_cols(const Tensor<T>& t, std::size_t n,
                            std::uint64_t stream, index_t jlo, index_t jhi,
-                           ColMap&& global_col, blas::MatView<T> s) {
+                           ColMap&& global_col, blas::MatView<T> s,
+                           Accum accum = Accum::kNative) {
   const index_t m = t.dim(n);
   const index_t wnew = jhi - jlo;
   TUCKER_CHECK(s.rows() == m && s.cols() == wnew,
@@ -84,6 +119,7 @@ void sketch_unfolding_cols(const Tensor<T>& t, std::size_t n,
   blas::fill(s, T(0));
   if (m == 0 || wnew == 0 || t.size() == 0) return;
 
+  const bool half_payload = sketch_payload() == SketchPayload::kHalf;
   Workspace& ws = Workspace::local();
   auto arena = ws.frame();
   auto omega = blas::MatView<T>::row_major(
@@ -95,11 +131,20 @@ void sketch_unfolding_cols(const Tensor<T>& t, std::size_t n,
     auto om = omega.block(0, 0, len, wnew);
     for (index_t i = 0; i < len; ++i) {
       const auto c = static_cast<std::uint64_t>(global_col(c0 + i));
-      for (index_t j = 0; j < wnew; ++j)
-        om(i, j) = static_cast<T>(
-            hash_normal(stream, c, static_cast<std::uint64_t>(jlo + j)));
+      for (index_t j = 0; j < wnew; ++j) {
+        const double draw =
+            hash_normal(stream, c, static_cast<std::uint64_t>(jlo + j));
+        om(i, j) =
+            half_payload ? static_cast<T>(quantize_half(draw))
+                         : static_cast<T>(draw);
+      }
     }
-    blas::gemm(T(1), panel, blas::MatView<const T>(om), T(1), s);
+    if (accum == Accum::kWide) {
+      blas::gemm<T, wide_t<T>>(T(1), panel, blas::MatView<const T>(om), T(1),
+                               s);
+    } else {
+      blas::gemm(T(1), panel, blas::MatView<const T>(om), T(1), s);
+    }
   });
 }
 
@@ -108,9 +153,9 @@ void sketch_unfolding_cols(const Tensor<T>& t, std::size_t n,
 template <class T>
 void sketch_unfolding_cols(const Tensor<T>& t, std::size_t n,
                            std::uint64_t stream, index_t jlo, index_t jhi,
-                           blas::MatView<T> s) {
+                           blas::MatView<T> s, Accum accum = Accum::kNative) {
   sketch_unfolding_cols(t, n, stream, jlo, jhi,
-                        [](index_t c) { return c; }, s);
+                        [](index_t c) { return c; }, s, accum);
 }
 
 /// One power-iteration multiply of the range finder: out = X_(n) X_(n)^T W,
@@ -119,7 +164,8 @@ void sketch_unfolding_cols(const Tensor<T>& t, std::size_t n,
 template <class T>
 void unfolding_aat_multiply(const Tensor<T>& t, std::size_t n,
                             blas::MatView<const T> w_in,
-                            blas::MatView<T> out) {
+                            blas::MatView<T> out,
+                            Accum accum = Accum::kNative) {
   const index_t m = t.dim(n);
   const index_t w = w_in.cols();
   TUCKER_CHECK(w_in.rows() == m && out.rows() == m && out.cols() == w,
@@ -132,11 +178,21 @@ void unfolding_aat_multiply(const Tensor<T>& t, std::size_t n,
   auto z = blas::MatView<T>::row_major(
       ws.get<T>(static_cast<std::size_t>(detail::kSketchPanel * w)),
       detail::kSketchPanel, w);
-  for_each_unfolding_panel(t, n, [&](blas::MatView<const T> panel, index_t) {
-    auto zp = z.block(0, 0, panel.cols(), w);
-    blas::gemm(T(1), blas::MatView<const T>(panel.t()), w_in, T(0), zp);
-    blas::gemm(T(1), panel, blas::MatView<const T>(zp), T(1), out);
-  });
+  auto run = [&]<class TA>(std::type_identity<TA>) {
+    for_each_unfolding_panel(
+        t, n, [&](blas::MatView<const T> panel, index_t) {
+          auto zp = z.block(0, 0, panel.cols(), w);
+          blas::gemm<T, TA>(T(1), blas::MatView<const T>(panel.t()), w_in,
+                            T(0), zp);
+          blas::gemm<T, TA>(T(1), panel, blas::MatView<const T>(zp), T(1),
+                            out);
+        });
+  };
+  if (accum == Accum::kWide) {
+    run(std::type_identity<wide_t<T>>{});
+  } else {
+    run(std::type_identity<T>{});
+  }
 }
 
 /// Gram matrix of the projected unfolding: g = (Q^T X_(n)) (Q^T X_(n))^T,
@@ -146,7 +202,8 @@ void unfolding_aat_multiply(const Tensor<T>& t, std::size_t n,
 /// energies the adaptive-oversampling budget test needs.
 template <class T>
 void projected_gram(const Tensor<T>& t, std::size_t n,
-                    blas::MatView<const T> q, blas::MatView<T> g) {
+                    blas::MatView<const T> q, blas::MatView<T> g,
+                    Accum accum = Accum::kNative) {
   const index_t w = q.cols();
   TUCKER_CHECK(q.rows() == t.dim(n) && g.rows() == w && g.cols() == w,
                "projected_gram: shape mismatch");
@@ -158,11 +215,20 @@ void projected_gram(const Tensor<T>& t, std::size_t n,
   auto bp = blas::MatView<T>::row_major(
       ws.get<T>(static_cast<std::size_t>(w * detail::kSketchPanel)), w,
       detail::kSketchPanel);
-  for_each_unfolding_panel(t, n, [&](blas::MatView<const T> panel, index_t) {
-    auto b = bp.block(0, 0, w, panel.cols());
-    blas::gemm(T(1), blas::MatView<const T>(q.t()), panel, T(0), b);
-    blas::syrk(T(1), blas::MatView<const T>(b), T(1), g);
-  });
+  auto run = [&]<class TA>(std::type_identity<TA>) {
+    for_each_unfolding_panel(
+        t, n, [&](blas::MatView<const T> panel, index_t) {
+          auto b = bp.block(0, 0, w, panel.cols());
+          blas::gemm<T, TA>(T(1), blas::MatView<const T>(q.t()), panel, T(0),
+                            b);
+          blas::syrk<T, TA>(T(1), blas::MatView<const T>(b), T(1), g);
+        });
+  };
+  if (accum == Accum::kWide) {
+    run(std::type_identity<wide_t<T>>{});
+  } else {
+    run(std::type_identity<T>{});
+  }
 }
 
 }  // namespace tucker::tensor

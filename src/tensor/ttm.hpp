@@ -23,11 +23,23 @@
 // accumulates one `y += u * x` per k step in ascending k order in both, so
 // engine choice, blocking, thread count and SIMD width never change the
 // bits (see DESIGN.md Sec 10).
+//
+// Wide accumulation (Accum::kWide on ttm_into): the packed engine's
+// kernels accumulate each output element in a single full-k wide_t<T>
+// chain (register accumulators for mode 0 / register tiles, or a per-chunk
+// TA slab for the streaming walk) and round to storage exactly once; the
+// reference engine inherits gemm's per-k-block spill. The two wide engines
+// therefore agree bitwise whenever the contracted dimension fits one gemm
+// k block (k <= TUCKER_GEMM_KB) -- the truncation TTMs the drivers issue --
+// and differ only in spill roundings beyond that. Each engine individually
+// remains bitwise thread/variant/partition-invariant at any k.
 
 #include <cstdlib>
 #include <string_view>
+#include <type_traits>
 
 #include "blas/gemm.hpp"
+#include "common/precision.hpp"
 #include "common/thread_pool.hpp"
 #include "common/tuning.hpp"
 #include "common/workspace.hpp"
@@ -56,7 +68,7 @@ using blas::detail::kTtmAxpyMaxR;
 
 /// Reference engine: one gemm per unfolding block (U re-packed per block by
 /// gemm), transposed gemm for mode 0.
-template <class T>
+template <class T, class TA = T>
 void ttm_reference_into(const Tensor<T>& x, std::size_t n, MatView<const T> u,
                         Tensor<T>& y) {
   if (n == 0) {
@@ -76,10 +88,10 @@ void ttm_reference_into(const Tensor<T>& x, std::size_t n, MatView<const T> u,
       T* tmp = ws.get<T>(static_cast<std::size_t>(k * r));
       for (index_t i = 0; i < k; ++i)
         for (index_t j = 0; j < r; ++j) tmp[i * r + j] = ut(i, j);
-      blas::gemm(T(1), MatView<const T>(xv.t()),
-                 MatView<const T>::row_major(tmp, k, r), T(0), yv.t());
+      blas::gemm<T, TA>(T(1), MatView<const T>(xv.t()),
+                        MatView<const T>::row_major(tmp, k, r), T(0), yv.t());
     } else {
-      blas::gemm(T(1), MatView<const T>(xv.t()), ut, T(0), yv.t());
+      blas::gemm<T, TA>(T(1), MatView<const T>(xv.t()), ut, T(0), yv.t());
     }
   } else {
     // Each unfolding block is an independent gemm writing a disjoint slab
@@ -91,7 +103,7 @@ void ttm_reference_into(const Tensor<T>& x, std::size_t n, MatView<const T> u,
       for (index_t j = lo; j < hi; ++j) {
         auto xb = unfolding_block(x, n, j);
         auto yb = unfolding_block(y, n, j);
-        blas::gemm(T(1), u, xb, T(0), yb);
+        blas::gemm<T, TA>(T(1), u, xb, T(0), yb);
       }
     };
     // The width > 1 test also keeps the serial path allocation-free:
@@ -133,8 +145,11 @@ index_t ttm_row_chunk(index_t r) {
 /// Packed engine. The factor is staged in the caller's arena frame before
 /// any fanout; workers only read the staged panel and take their own
 /// B-pack scratch from their own Workspace::local() (ownership rules of
-/// DESIGN.md Sec 8).
-template <class T>
+/// DESIGN.md Sec 8). With TA wider than T, the mode-0 kernel accumulates
+/// its fibers in TA registers and the short-fat path accumulates into a
+/// per-chunk TA slab, so every Y element is a single full-k wide chain
+/// rounded to storage once.
+template <class T, class TA = T>
 void ttm_packed_into(const Tensor<T>& x, std::size_t n, MatView<const T> u,
                      Tensor<T>& y) {
   using blas::detail::kMicroMR;
@@ -155,7 +170,7 @@ void ttm_packed_into(const Tensor<T>& x, std::size_t n, MatView<const T> u,
       // Tall factor (reconstruction direction), or a staged U^T panel that
       // would spill L1: the dot kernel re-reads the panel per fiber, so
       // once it stops being L1-resident the register-tile gemm wins.
-      ttm_reference_into(x, 0, u, y);
+      ttm_reference_into<T, TA>(x, 0, u, y);
       return;
     }
     // Stage U^T as k x ldut row-major, zero-padded to a whole number of
@@ -168,10 +183,11 @@ void ttm_packed_into(const Tensor<T>& x, std::size_t n, MatView<const T> u,
       for (; q < ldut; ++q) ut[kk * ldut + q] = T(0);
     }
     tucker::add_flops(2 * r * k * cols);
+    tucker::add_traffic(flops::gemm_bytes(r, cols, k, sizeof(T)));
     const double work = 2.0 * r * k * static_cast<double>(cols);
     auto run_cols = [&](index_t c0, index_t c1) {
-      blas::detail::ttm_mode0_cols(simd, k, r, ut, ldut, x.data(), y.data(),
-                                   c0, c1);
+      blas::detail::ttm_mode0_cols<T, TA>(simd, k, r, ut, ldut, x.data(),
+                                          y.data(), c0, c1);
     };
     if (width > 1 && work >= tune::par_flop_threshold()) {
       parallel::parallel_for(0, cols, 64, run_cols);
@@ -197,6 +213,7 @@ void ttm_packed_into(const Tensor<T>& x, std::size_t n, MatView<const T> u,
     for (index_t i = 0; i < r; ++i)
       for (index_t j = 0; j < k; ++j) upack[i * k + j] = u(i, j);
     tucker::add_flops(2 * r * k * before * nblocks);
+    tucker::add_traffic(flops::gemm_bytes(r, before * nblocks, k, sizeof(T)));
     const bool stream =
         static_cast<std::size_t>(k * before) * sizeof(T) > 262144;
     const index_t chunk =
@@ -204,9 +221,32 @@ void ttm_packed_into(const Tensor<T>& x, std::size_t n, MatView<const T> u,
     auto run_block_cols = [&](index_t blk, index_t j0, index_t j1) {
       const T* xb = x.data() + blk * k * before;
       T* yb = y.data() + blk * r * before;
-      for (index_t c0 = j0; c0 < j1; c0 += chunk)
-        blas::detail::ttm_cols(simd, stream, r, k, upack, xb, before, yb,
-                               before, c0, std::min(c0 + chunk, j1));
+      if constexpr (std::is_same_v<T, TA>) {
+        for (index_t c0 = j0; c0 < j1; c0 += chunk)
+          blas::detail::ttm_cols(simd, stream, r, k, upack, xb, before, yb,
+                                 before, c0, std::min(c0 + chunk, j1));
+      } else {
+        // Wide accumulation: the kernels' C argument is the accumulator, so
+        // aim them at a chunk-sized TA slab (from the *calling* thread's
+        // arena -- run_block_cols may execute on a worker) and round each
+        // element to storage exactly once on the copy-out. The slab is
+        // column range [c0, c0+len) relabeled to start at 0, which leaves
+        // every per-element chain identical to the native walk.
+        Workspace& wws = Workspace::local();
+        auto wide_scratch = wws.frame();
+        TA* slab = wws.get<TA>(static_cast<std::size_t>(r * chunk));
+        for (index_t c0 = j0; c0 < j1; c0 += chunk) {
+          const index_t len = std::min(c0 + chunk, j1) - c0;
+          blas::detail::ttm_cols(simd, stream, r, k, upack, xb + c0, before,
+                                 slab, len, index_t{0}, len);
+          for (index_t rr = 0; rr < r; ++rr) {
+            const TA* srow = slab + rr * len;
+            T* yrow = yb + rr * before + c0;
+            for (index_t j = 0; j < len; ++j)
+              yrow[j] = static_cast<T>(srow[j]);
+          }
+        }
+      }
     };
     if (fan_out && nblocks >= 2 * width) {
       parallel::parallel_for(0, nblocks, 1, [&](index_t lo, index_t hi) {
@@ -233,9 +273,9 @@ void ttm_packed_into(const Tensor<T>& x, std::size_t n, MatView<const T> u,
   auto run_block_cols = [&](index_t blk, index_t j0, index_t j1) {
     auto xb = unfolding_block(x, n, blk);
     auto yb = unfolding_block(y, n, blk);
-    blas::detail::gemm_prepacked_a(apack, r, k,
-                                   MatView<const T>(xb.block(0, j0, k, j1 - j0)),
-                                   yb.block(0, j0, r, j1 - j0));
+    blas::detail::gemm_prepacked_a<T, TA>(
+        apack, r, k, MatView<const T>(xb.block(0, j0, k, j1 - j0)),
+        yb.block(0, j0, r, j1 - j0));
   };
   if (fan_out && nblocks >= 2 * width) {
     parallel::parallel_for(0, nblocks, 1, [&](index_t lo, index_t hi) {
@@ -259,29 +299,37 @@ void ttm_packed_into(const Tensor<T>& x, std::size_t n, MatView<const T> u,
 /// calls does no heap allocation after warm-up. x and y must not alias.
 template <class T>
 void ttm_into(const Tensor<T>& x, std::size_t n, MatView<const T> u,
-              Tensor<T>& y) {
+              Tensor<T>& y, Accum accum = Accum::kNative) {
   TUCKER_CHECK(n < x.order(), "ttm: mode out of range");
   TUCKER_CHECK(u.cols() == x.dim(n), "ttm: inner dimension mismatch");
   TUCKER_CHECK(&x != &y, "ttm_into: x and y must be distinct tensors");
   y.reshape_mode_of(x, n, u.rows());
   if (y.size() == 0 || x.size() == 0) return;
 
-  switch (ttm_engine()) {
-    case TtmEngine::kPacked:
-      detail::ttm_packed_into(x, n, u, y);
-      break;
-    case TtmEngine::kReference:
-      detail::ttm_reference_into(x, n, u, y);
-      break;
+  auto run = [&]<class TA>(std::type_identity<TA>) {
+    switch (ttm_engine()) {
+      case TtmEngine::kPacked:
+        detail::ttm_packed_into<T, TA>(x, n, u, y);
+        break;
+      case TtmEngine::kReference:
+        detail::ttm_reference_into<T, TA>(x, n, u, y);
+        break;
+    }
+  };
+  if (accum == Accum::kWide) {
+    run(std::type_identity<wide_t<T>>{});
+  } else {
+    run(std::type_identity<T>{});
   }
 }
 
 /// Y = X x_n U where U is (R x I_n); Y has dims of X with mode n replaced
 /// by R. To truncate with a factor matrix F (I_n x R), pass F^T via a view.
 template <class T>
-Tensor<T> ttm(const Tensor<T>& x, std::size_t n, MatView<const T> u) {
+Tensor<T> ttm(const Tensor<T>& x, std::size_t n, MatView<const T> u,
+              Accum accum = Accum::kNative) {
   Tensor<T> y;
-  ttm_into(x, n, u, y);
+  ttm_into(x, n, u, y, accum);
   return y;
 }
 

@@ -8,6 +8,7 @@
 
 #include "blas/blas1.hpp"
 #include "blas/gemm.hpp"
+#include "common/precision.hpp"
 #include "common/rng.hpp"
 #include "core/svd_engine.hpp"
 #include "data/synthetic_matrix.hpp"
@@ -15,6 +16,7 @@
 #include "lapack/bidiag_svd.hpp"
 #include "lapack/qr.hpp"
 #include "lapack/tridiag_eig.hpp"
+#include "tensor/sketch.hpp"
 
 namespace tucker {
 namespace {
@@ -281,6 +283,112 @@ TEST(Theorem1StreamTest, MergeDepthDoesNotErodeTheSubspace) {
   EXPECT_LT(max_principal_angle_sin(MatView<const double>(uref.view()),
                                     MatView<const double>(udeep.view())),
             1e-7);
+}
+
+// ---- Mixed-precision rungs of the ladder -------------------------------
+//
+// Two new rungs between plain single and double:
+//   * fp32 storage + fp64 register accumulation (Accum::kWide): removes the
+//     k-chain accumulation term, leaving only the storage rounding, so the
+//     Gram matrix itself tightens while the sigma errors stay on the same
+//     Theorem-2 rung (the G storage rounding is untouched).
+//   * fp16 sketch payload: quantizing the Gaussian test matrix perturbs the
+//     range finder by eps_h per draw, which the HMT argument absorbs -- the
+//     recovered spectrum stays on the working-precision rung.
+
+TEST(MixedPrecisionTest, WideAccumTightensGramAndStaysOnTheRung) {
+  const index_t m = 24;
+  auto sigma = data::geometric_spectrum(m, 1.0, 1e-5);
+  auto a = data::matrix_with_spectrum(m, 6 * m, sigma, 5701);
+  auto af = data::round_to<float>(a);
+  auto ad = data::round_to<double>(a);  // exact copy of what float sees
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < a.cols(); ++j)
+      ad(i, j) = static_cast<double>(af(i, j));
+
+  // Entrywise: the wide-accum Gram matrix is strictly closer to the exact
+  // Gram of the rounded input than the native-single one (the accumulation
+  // chain is 6*m = 144 roundings native vs exactly one storage rounding
+  // wide).
+  Matrix<double> g_exact(m, m);
+  blas::syrk(1.0, MatView<const double>(ad.view()), 0.0, g_exact.view());
+  Matrix<float> g_native(m, m), g_wide(m, m);
+  blas::syrk(1.0f, MatView<const float>(af.view()), 0.0f, g_native.view());
+  blas::syrk<float, double>(1.0f, MatView<const float>(af.view()), 0.0f,
+                            g_wide.view());
+  double err_native = 0, err_wide = 0;
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j <= i; ++j) {
+      err_native = std::max(
+          err_native,
+          std::abs(static_cast<double>(g_native(i, j)) - g_exact(i, j)));
+      err_wide = std::max(
+          err_wide,
+          std::abs(static_cast<double>(g_wide(i, j)) - g_exact(i, j)));
+    }
+  EXPECT_LT(err_wide, err_native);
+  EXPECT_LE(err_wide, 1.2e-7);  // one rounding of entries of norm <= 1
+
+  // Spectral: the wide-accum Gram sigmas satisfy the same Theorem-2 bound
+  // as the native-single run in GramSigmaErrorScalesWithAmplification --
+  // no worse than plain single anywhere on the spectrum.
+  auto eig = la::tridiag_eig(MatView<const float>(g_wide.view()));
+  for (index_t i = 0; i < m; ++i) {
+    const double truth = sigma[static_cast<std::size_t>(i)];
+    const double got = std::sqrt(std::abs(
+        static_cast<double>(eig.lambda[static_cast<std::size_t>(i)])));
+    const double bound = 200 * 1.2e-7 / std::max(truth, 1.2e-7);
+    EXPECT_LE(std::abs(got - truth), bound + 1e-7) << i;
+  }
+}
+
+TEST(MixedPrecisionTest, HalfSketchStaysOnTheWorkingPrecisionRung) {
+  struct PayloadGuard {
+    tensor::SketchPayload prev = tensor::sketch_payload();
+    ~PayloadGuard() { tensor::sketch_payload() = prev; }
+  } guard;
+  auto x = data::tensor_with_spectra(
+      {14, 12, 16},
+      {data::DecayProfile::geometric(1.0, 1e-6),
+       data::DecayProfile::geometric(1.0, 1e-6),
+       data::DecayProfile::geometric(1.0, 1e-6)},
+      5801);
+  auto xf = data::round_tensor_to<float>(x);
+  const index_t k = 4;
+  auto ref = core::qr_svd(x, 0);  // double truth
+  Matrix<double> uref(ref.u.rows(), k);
+  blas::copy(MatView<const double>(ref.u.view().block(0, 0, ref.u.rows(), k)),
+             uref.view());
+  const double smax = std::sqrt(ref.sigma_sq[0]);
+
+  core::RandSvdOptions opt;
+  opt.power_iters = 2;
+  for (auto payload :
+       {tensor::SketchPayload::kNative, tensor::SketchPayload::kHalf}) {
+    tensor::sketch_payload() = payload;
+    auto got = core::rand_svd(xf, 0, k, 0.0, opt);
+    ASSERT_GE(got.sigma_sq.size(), static_cast<std::size_t>(k));
+    // Sigma errors: same generous working-precision-rung bound for both
+    // payloads -- quantizing Omega must not show up here.
+    for (index_t i = 0; i < k; ++i)
+      EXPECT_NEAR(
+          std::sqrt(static_cast<double>(
+              got.sigma_sq[static_cast<std::size_t>(i)])),
+          std::sqrt(ref.sigma_sq[static_cast<std::size_t>(i)]),
+          5e-4 * smax)
+          << "payload=" << static_cast<int>(payload) << " i=" << i;
+    // Subspace: the leading-k angle stays at the randomized method's
+    // accuracy (set by the spectral decay and power iterations), far from
+    // the eps_h rung a payload-precision-limited method would sit on.
+    Matrix<double> u(got.u.rows(), k);
+    for (index_t i = 0; i < u.rows(); ++i)
+      for (index_t j = 0; j < k; ++j)
+        u(i, j) = static_cast<double>(got.u(i, j));
+    EXPECT_LT(max_principal_angle_sin(MatView<const double>(uref.view()),
+                                      MatView<const double>(u.view())),
+              0.02)
+        << "payload=" << static_cast<int>(payload);
+  }
 }
 
 }  // namespace

@@ -23,7 +23,11 @@ thread_local bool t_is_worker = false;
 int default_width() {
   if (const char* s = std::getenv("TUCKER_NUM_THREADS")) {
     const int v = std::atoi(s);
-    if (v >= 1) return v;
+    // Clamp: a width beyond any real machine is operator error, and
+    // actually spawning it aborts on thread-creation failure (EAGAIN)
+    // instead of degrading. 256 comfortably covers the widths the pool
+    // can exploit while keeping hostile/garbage values safe.
+    if (v >= 1) return std::min(v, 256);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;

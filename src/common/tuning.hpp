@@ -120,6 +120,36 @@ inline bool overlap_default() {
   return v;
 }
 
+/// Serving worker count (TUCKER_SERVE_WORKERS, default 0 = one worker per
+/// hardware thread). Workers are plain threads layered on the tucker pool;
+/// each runs width-capped to max_threads()/workers so the pool is never
+/// oversubscribed, and each owns its thread-local Workspace arena. Worker
+/// count never changes response bits (see src/serve/service.hpp).
+inline index_t serve_workers() {
+  static const index_t v = detail::env_index("TUCKER_SERVE_WORKERS", 0, 0, 4096);
+  return v;
+}
+
+/// Depth of the serving layer's bounded request queue
+/// (TUCKER_SERVE_QUEUE_DEPTH, default 64): requests beyond it are shed at
+/// submission instead of growing an unbounded backlog.
+inline index_t serve_queue_depth() {
+  static const index_t v =
+      detail::env_index("TUCKER_SERVE_QUEUE_DEPTH", 64, 1, 1 << 20);
+  return v;
+}
+
+/// Admission budget in modeled flops (TUCKER_SERVE_FLOP_BUDGET, default
+/// 0 = unlimited): the service sheds any request whose modeled cost would
+/// push the total modeled flops in flight (queued + executing) past the
+/// budget. Priced by the same ledgers the kernels credit (common/flops.hpp
+/// and core::modeled_sthosvd_flops), so the budget and the measured
+/// counters speak the same unit.
+inline double serve_flop_budget() {
+  static const double v = detail::env_double("TUCKER_SERVE_FLOP_BUDGET", 0.0);
+  return v;
+}
+
 /// Mode window of the overlapped randomized driver (TUCKER_MODE_WINDOW):
 /// how many modes sketch concurrently from the same window-source tensor.
 /// 1 reproduces sequential ST-HOSVD bitwise; >1 is the mode-parallel

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
+
+#include "common/check.hpp"
 
 namespace tucker {
 
@@ -51,6 +54,34 @@ void* Workspace::get_bytes(std::size_t bytes) {
   }
 }
 
+// Overwrites everything handed out after the (block, off) mark with the
+// poison byte. Debug builds only: a `get` pointer held across its Frame's
+// close (or across a serving-request reset()) then reads 0xDB garbage and
+// fails loudly instead of seeing stale-but-plausible values.
+void Workspace::poison_released(std::size_t block, std::size_t off) {
+  if (blocks_.empty()) return;
+  const std::size_t last = std::min(cur_block_, blocks_.size() - 1);
+  for (std::size_t b = block; b <= last; ++b) {
+    const std::size_t lo = (b == block) ? off : 0;
+    const std::size_t hi = (b == cur_block_) ? cur_off_ : blocks_[b].size;
+    if (hi > lo) std::memset(blocks_[b].data.get() + lo, kPoisonByte, hi - lo);
+  }
+}
+
+void Workspace::rewind(std::size_t block, std::size_t off) {
+#ifndef NDEBUG
+  poison_released(block, off);
+#endif
+  cur_block_ = block;
+  cur_off_ = off;
+}
+
+void Workspace::reset() {
+  TUCKER_CHECK(frame_depth_ == 0,
+               "Workspace::reset() with a Frame still open");
+  rewind(0, 0);
+}
+
 void Workspace::record_region(std::string_view name, std::size_t peak) {
   auto it = region_marks_.find(name);
   if (it == region_marks_.end())
@@ -67,6 +98,8 @@ std::size_t Workspace::region_high_water(std::string_view name) const {
 void Workspace::clear_region_marks() { region_marks_.clear(); }
 
 void Workspace::release() {
+  TUCKER_CHECK(frame_depth_ == 0,
+               "Workspace::release() with a Frame still open");
   for (auto& [key, entry] : stash_) entry.destroy(entry.ptr);
   stash_.clear();
   blocks_.clear();

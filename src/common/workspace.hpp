@@ -24,6 +24,13 @@
 //    calls, e.g. the ping-pong tensors of the sthosvd truncation chain.
 //    Slots are keyed by (name, type), so the same name used at two
 //    precisions yields two slots.
+//  - Long-lived owners (the serving workers) call `reset()` between
+//    requests: it rewinds the bump pointers to empty while keeping every
+//    reserved block, every stashed object, and the high-water marks, so a
+//    warm arena stays warm across requests. In debug builds both `reset()`
+//    and Frame destruction poison the released bytes (kPoisonByte) so a
+//    pointer held across a request boundary fails loudly instead of
+//    silently reading stale-but-plausible data.
 
 #include <cstddef>
 #include <map>
@@ -51,10 +58,12 @@ class Workspace {
   class Frame {
    public:
     explicit Frame(Workspace& ws)
-        : ws_(&ws), block_(ws.cur_block_), off_(ws.cur_off_) {}
+        : ws_(&ws), block_(ws.cur_block_), off_(ws.cur_off_) {
+      ++ws_->frame_depth_;
+    }
     ~Frame() {
-      ws_->cur_block_ = block_;
-      ws_->cur_off_ = off_;
+      --ws_->frame_depth_;
+      ws_->rewind(block_, off_);
     }
     Frame(const Frame&) = delete;
     Frame& operator=(const Frame&) = delete;
@@ -145,9 +154,21 @@ class Workspace {
   /// Forgets all recorded region marks (the global high_water() survives).
   void clear_region_marks();
 
+  /// Rewinds the bump pointers to empty without freeing anything: blocks
+  /// stay reserved, stashed objects stay alive, and high_water() keeps its
+  /// mark. This is the between-requests hook for long-lived owners (the
+  /// serving workers): after a warm-up request the arena serves every later
+  /// request without touching the heap. Only valid with no Frame open. In
+  /// debug builds the released bytes are poisoned (kPoisonByte).
+  void reset();
+
   /// Frees all arena blocks and destroys every stashed object. Only valid
   /// when no Frame is open; meant for tests and teardown.
   void release();
+
+  /// Fill value written over released scratch in debug builds (by Frame
+  /// destruction and reset()). Exposed so tests can assert the poisoning.
+  static constexpr unsigned char kPoisonByte = 0xDB;
 
  private:
   // Heterogeneous (type, name) key so one name can back several precisions;
@@ -173,10 +194,14 @@ class Workspace {
 
   void* get_bytes(std::size_t bytes);
   void record_region(std::string_view name, std::size_t peak);
+  // Frame-close path: poisons (debug) then restores the bump pointers.
+  void rewind(std::size_t block, std::size_t off);
+  void poison_released(std::size_t block, std::size_t off);
 
   std::vector<Block> blocks_;
   std::size_t cur_block_ = 0;  // block the next get bumps into
   std::size_t cur_off_ = 0;    // byte offset within that block
+  std::size_t frame_depth_ = 0;  // open Frames (guards reset()/release())
   std::size_t high_water_ = 0;  // max bytes_in_use() ever observed
   std::size_t open_peak_ = 0;   // running peak of the innermost WaterRegion
   std::map<StashKey, Entry, StashKeyLess> stash_;

@@ -1,9 +1,12 @@
 #pragma once
 // The Tucker decomposition object: core tensor + factor matrices.
 
+#include <array>
 #include <vector>
 
 #include "blas/matrix.hpp"
+#include "common/workspace.hpp"
+#include "tensor/prepacked.hpp"
 #include "tensor/tensor.hpp"
 #include "tensor/ttm.hpp"
 
@@ -70,6 +73,55 @@ struct TuckerTensor {
     return y;
   }
 };
+
+/// Stages one PrepackedFactor per mode of tk: the per-model cache entry
+/// the serving layer builds once at model registration and reuses across
+/// every reconstruction request.
+template <class T>
+std::vector<tensor::PrepackedFactor<T>> prepack_factors(
+    const TuckerTensor<T>& tk) {
+  std::vector<tensor::PrepackedFactor<T>> packs(tk.factors.size());
+  for (std::size_t n = 0; n < tk.factors.size(); ++n)
+    packs[n].stage(tk.factors[n].cview());
+  return packs;
+}
+
+/// Expands tk into a caller-owned tensor through the calling thread's
+/// arena ping-pong scratch (stash key "core.reconstruct.pingpong") instead
+/// of a fresh Tensor per mode: after a warm-up call the whole chain
+/// performs zero heap allocation beyond growing `out` itself (grow-only,
+/// so cycling the same `out` across requests is allocation-free too).
+/// With `packs` (from prepack_factors) the tall-factor TTMs reuse the
+/// cached micro-kernel panels and skip their per-call pack_a. Every
+/// variant -- reconstruct(), packs/no packs, any thread width -- produces
+/// bitwise-identical output (same TTM chain per element; DESIGN.md Sec 10).
+template <class T>
+void reconstruct_into(const TuckerTensor<T>& tk, tensor::Tensor<T>& out,
+                      const std::vector<tensor::PrepackedFactor<T>>* packs =
+                          nullptr,
+                      Accum accum = Accum::kNative) {
+  const std::size_t nmodes = tk.factors.size();
+  TUCKER_CHECK(packs == nullptr || packs->size() == nmodes,
+               "reconstruct_into: one prepacked factor per mode");
+  if (nmodes == 0) {
+    out = tk.core;
+    return;
+  }
+  auto& pp = Workspace::local().stash<std::array<tensor::Tensor<T>, 2>>(
+      "core.reconstruct.pingpong");
+  const tensor::Tensor<T>* src = &tk.core;
+  int slot = 0;
+  for (std::size_t n = 0; n < nmodes; ++n) {
+    tensor::Tensor<T>* dst = (n + 1 == nmodes) ? &out : &pp[slot];
+    if (packs != nullptr) {
+      tensor::ttm_prepacked_into(*src, n, (*packs)[n], *dst, accum);
+    } else {
+      tensor::ttm_into(*src, n, tk.factors[n].cview(), *dst, accum);
+    }
+    src = dst;
+    slot ^= 1;
+  }
+}
 
 /// Normwise relative error ||x - xhat|| / ||x||, accumulated in double.
 template <class T>

@@ -1,0 +1,82 @@
+#pragma once
+// Per-tenant model registry of the serving layer.
+//
+// A served model is a TuckerTensor plus everything the reconstruction fast
+// path wants precomputed: the PrepackedFactor panels (staged exactly once,
+// at registration) and the modeled RequestCost of one full reconstruction
+// (priced once, charged by admission on every request). Entries are held
+// by shared_ptr-to-const so a worker mid-reconstruction keeps its model
+// alive even if the tenant unregisters it concurrently.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "core/tucker_tensor.hpp"
+#include "serve/admission.hpp"
+
+namespace tucker::serve {
+
+using ModelId = std::uint64_t;
+
+/// A registered model with its prepacked factors and reconstruction price.
+template <class T>
+struct ServedModel {
+  core::TuckerTensor<T> model;
+  std::vector<tensor::PrepackedFactor<T>> packs;
+  RequestCost cost;  // one full reconstruction
+  std::size_t pack_bytes = 0;
+};
+
+template <class T>
+class ModelCache {
+ public:
+  /// Registers a model: stages the factor panels, prices a reconstruction,
+  /// returns the id reconstruction requests refer to. Ids are never reused.
+  ModelId insert(core::TuckerTensor<T> m) {
+    auto sm = std::make_shared<ServedModel<T>>();
+    sm->model = std::move(m);
+    sm->packs = core::prepack_factors(sm->model);
+    sm->cost = reconstruct_cost(sm->model.core_dims(), sm->model.full_dims(),
+                                sizeof(T));
+    for (const auto& p : sm->packs) sm->pack_bytes += p.bytes();
+    std::lock_guard<std::mutex> lk(mu_);
+    const ModelId id = next_++;
+    models_.emplace(id, std::move(sm));
+    return id;
+  }
+
+  /// nullptr when the id is unknown (or already unregistered).
+  std::shared_ptr<const ServedModel<T>> find(ModelId id) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = models_.find(id);
+    return it == models_.end() ? nullptr : it->second;
+  }
+
+  bool erase(ModelId id) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return models_.erase(id) != 0;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return models_.size();
+  }
+
+  /// Total bytes of staged panels + plain copies across the cache.
+  std::size_t pack_bytes() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t total = 0;
+    for (const auto& [id, sm] : models_) total += sm->pack_bytes;
+    return total;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  ModelId next_ = 1;
+  std::map<ModelId, std::shared_ptr<const ServedModel<T>>> models_;
+};
+
+}  // namespace tucker::serve

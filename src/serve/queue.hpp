@@ -1,0 +1,103 @@
+#pragma once
+// Bounded MPMC request queue of the serving layer (src/serve/service.hpp).
+//
+// One mutex plus two condition variables: producers wait on not-full (or
+// shed via try_push), workers wait on not-empty. close() flips the queue
+// into drain mode -- every later push fails, pops keep returning queued
+// work until empty and then nullopt, so a stopping service finishes what
+// it accepted instead of breaking promises. high_water() records the
+// deepest backlog observed: the queue-side analogue of the Workspace
+// arena watermark, reported by Service::stats().
+//
+// Ordering is strict FIFO. Which worker pops which request is scheduling-
+// dependent, but every kernel underneath is bitwise thread-invariant and
+// workers share no mutable per-request state, so responses never depend on
+// the pop interleaving (tests/serve_test.cpp pins this with memcmp).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace tucker::serve {
+
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : cap_(capacity == 0 ? 1 : capacity) {}
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocking enqueue: waits for space; false iff the queue was closed.
+  bool push(T v) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      not_full_.wait(lk, [&] { return closed_ || q_.size() < cap_; });
+      if (closed_) return false;
+      q_.push_back(std::move(v));
+      if (q_.size() > high_water_) high_water_ = q_.size();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Nonblocking enqueue: false when full or closed (the shed path).
+  bool try_push(T v) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || q_.size() >= cap_) return false;
+      q_.push_back(std::move(v));
+      if (q_.size() > high_water_) high_water_ = q_.size();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue: nullopt once the queue is closed *and* drained.
+  std::optional<T> pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+      if (q_.empty()) return std::nullopt;
+      out.emplace(std::move(q_.front()));
+      q_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Fails pending and future pushes; pops drain what was accepted.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+  }
+  std::size_t capacity() const { return cap_; }
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return high_water_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> q_;
+  std::size_t cap_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace tucker::serve

@@ -1,0 +1,390 @@
+#pragma once
+// Multi-tenant batched serving layer: a long-lived decomposition /
+// reconstruction service over the library's deterministic kernels.
+//
+// Architecture (DESIGN.md Sec 14):
+//
+//   submit -> price (serve/admission.hpp) -> BoundedQueue -> worker pool
+//
+// Each worker is a plain std::thread layered on tucker::parallel:
+//   * width-capped to max_threads()/workers (ThreadWidthCap), so W workers
+//     collectively never oversubscribe the pool;
+//   * SmallSvdDispatchPin'd to max_threads(), so the kAuto small-SVD
+//     dispatch resolves identically whatever the worker count -- response
+//     bits never depend on how the service is sized;
+//   * owner of its thread-local Workspace arena, reset() (not released)
+//     between requests: after warm-up a steady-state request performs zero
+//     heap allocation inside the kernels, and the high-water mark each
+//     worker reports is the arena footprint serving actually needs.
+//
+// Two request kinds. Compress runs the full ST-HOSVD with a per-request
+// spec/method/options. Reconstruct is the TTM-only fast path: the model's
+// factors were prepacked at registration (serve/model_cache.hpp), so a
+// request is just the ping-pong TTM chain of core::reconstruct_into over
+// cached panels -- no SVD, no pack_a, no steady-state allocation.
+//
+// Determinism contract: every kernel underneath is bitwise-invariant to
+// thread width, workers share no mutable per-request state, and the
+// dispatch pin removes the one width-sensitive policy choice; therefore
+// responses are bitwise identical across worker counts and queue
+// interleavings (pinned by tests/serve_test.cpp).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "common/tuning.hpp"
+#include "common/workspace.hpp"
+#include "core/sthosvd.hpp"
+#include "core/svd_engine.hpp"
+#include "core/tucker_tensor.hpp"
+#include "serve/admission.hpp"
+#include "serve/model_cache.hpp"
+#include "serve/queue.hpp"
+
+namespace tucker::serve {
+
+struct ServeOptions {
+  /// Worker threads; 0 defers to TUCKER_SERVE_WORKERS, which at its own
+  /// default 0 means one worker per hardware thread.
+  int workers = 0;
+  /// Request-queue depth; 0 defers to TUCKER_SERVE_QUEUE_DEPTH.
+  std::size_t queue_depth = 0;
+  /// Modeled-flop admission budget; negative defers to
+  /// TUCKER_SERVE_FLOP_BUDGET. 0 = unlimited.
+  double flop_budget = -1;
+  /// Tests: construct stopped, enqueue a fixed batch, then start() -- a
+  /// deterministic interleaving for shed and ordering assertions.
+  bool autostart = true;
+};
+
+template <class T>
+struct CompressRequest {
+  /// shared_ptr so the caller can keep the tensor or hand it off; the
+  /// service holds it only while the request is in flight.
+  std::shared_ptr<const tensor::Tensor<T>> x;
+  core::TruncationSpec spec;
+  core::SvdMethod method = core::SvdMethod::kQr;
+  core::SthosvdOptions opt;
+};
+
+template <class T>
+struct CompressResponse {
+  core::SthosvdResult<T> result;
+  RequestCost cost;
+  double latency_seconds = 0;  // submit -> response, wall clock
+};
+
+template <class T>
+struct ReconstructRequest {
+  ModelId model = 0;
+  /// Optional region of interest, one [lo, hi) per mode; empty = full
+  /// reconstruction (the prepacked fast path -- regions take the plain
+  /// reconstruct_region route since their row slices defeat the panel).
+  std::vector<index_t> lo, hi;
+  Accum accum = Accum::kNative;
+  /// Optional client-owned response buffer: the worker reconstructs
+  /// directly into *out and the response's tensor stays empty. Tensors
+  /// grow but never shrink, so a client cycling the same buffer makes its
+  /// steady-state requests allocation-free end to end (no fresh response
+  /// tensor, no zero-initialization pass). The buffer must stay alive and
+  /// untouched until the future resolves, and must not be shared between
+  /// in-flight requests.
+  std::shared_ptr<tensor::Tensor<T>> out;
+};
+
+template <class T>
+struct ReconstructResponse {
+  tensor::Tensor<T> tensor;
+  RequestCost cost;
+  double latency_seconds = 0;
+};
+
+struct WorkerStats {
+  std::uint64_t requests = 0;
+  std::size_t arena_high_water = 0;  // Workspace::high_water()
+  std::size_t arena_reserved = 0;    // Workspace::bytes_reserved()
+};
+
+struct ServeStats {
+  std::uint64_t compress_done = 0;
+  std::uint64_t reconstruct_done = 0;
+  std::uint64_t shed_budget = 0;  // refused by the admission controller
+  std::uint64_t shed_queue = 0;   // refused by a full queue (try_submit)
+  std::size_t queue_high_water = 0;
+  double in_flight_flops = 0;
+  std::size_t model_count = 0;
+  std::size_t model_pack_bytes = 0;
+  std::vector<WorkerStats> workers;
+};
+
+template <class T>
+class Service {
+ public:
+  explicit Service(ServeOptions opt = {})
+      : opt_(normalize(opt)),
+        queue_(opt_.queue_depth),
+        admission_(opt_.flop_budget) {
+    if (opt_.autostart) start();
+  }
+  ~Service() { stop(); }
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  int workers() const { return opt_.workers; }
+
+  /// Registers a tenant's model for reconstruction serving; prepacks its
+  /// factors once. Returns the id ReconstructRequest::model refers to.
+  ModelId register_model(core::TuckerTensor<T> m) {
+    return models_.insert(std::move(m));
+  }
+  bool unregister_model(ModelId id) { return models_.erase(id); }
+
+  /// Blocking submit: waits for queue space; nullopt only when the
+  /// admission budget sheds the request or the service is stopped.
+  std::optional<std::future<CompressResponse<T>>> submit(
+      CompressRequest<T> req) {
+    return submit_compress(std::move(req), /*blocking=*/true);
+  }
+  std::optional<std::future<ReconstructResponse<T>>> submit(
+      ReconstructRequest<T> req) {
+    return submit_reconstruct(std::move(req), /*blocking=*/true);
+  }
+
+  /// Nonblocking submit: additionally sheds when the queue is full.
+  std::optional<std::future<CompressResponse<T>>> try_submit(
+      CompressRequest<T> req) {
+    return submit_compress(std::move(req), /*blocking=*/false);
+  }
+  std::optional<std::future<ReconstructResponse<T>>> try_submit(
+      ReconstructRequest<T> req) {
+    return submit_reconstruct(std::move(req), /*blocking=*/false);
+  }
+
+  /// Launches the worker pool (idempotent). With autostart this already
+  /// happened in the constructor.
+  void start() {
+    if (started_) return;
+    started_ = true;
+    worker_stats_ = std::vector<SlotStats>(opt_.workers);
+    threads_.reserve(opt_.workers);
+    for (int w = 0; w < opt_.workers; ++w)
+      threads_.emplace_back([this, w] { worker_main(w); });
+  }
+
+  /// Waits until every accepted request has produced its response.
+  void drain() {
+    std::unique_lock<std::mutex> lk(done_mu_);
+    done_cv_.wait(lk, [&] { return done_ == accepted_; });
+  }
+
+  /// Closes the queue, lets workers finish everything accepted, joins
+  /// them. After stop() every submit is shed; the service is one-shot.
+  void stop() {
+    queue_.close();
+    for (auto& th : threads_)
+      if (th.joinable()) th.join();
+    threads_.clear();
+  }
+
+  ServeStats stats() const {
+    ServeStats s;
+    s.compress_done = compress_done_.load(std::memory_order_relaxed);
+    s.reconstruct_done = reconstruct_done_.load(std::memory_order_relaxed);
+    s.shed_budget = admission_.shed();
+    s.shed_queue = shed_queue_.load(std::memory_order_relaxed);
+    s.queue_high_water = queue_.high_water();
+    s.in_flight_flops = admission_.in_flight_flops();
+    s.model_count = models_.size();
+    s.model_pack_bytes = models_.pack_bytes();
+    s.workers.reserve(worker_stats_.size());
+    for (const auto& ws : worker_stats_) {
+      WorkerStats w;
+      w.requests = ws.requests.load(std::memory_order_relaxed);
+      w.arena_high_water = ws.arena_high_water.load(std::memory_order_relaxed);
+      w.arena_reserved = ws.arena_reserved.load(std::memory_order_relaxed);
+      s.workers.push_back(w);
+    }
+    return s;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  enum class Kind { kCompress, kReconstruct };
+
+  struct Task {
+    Kind kind;
+    CompressRequest<T> creq;
+    ReconstructRequest<T> rreq;
+    std::promise<CompressResponse<T>> cpromise;
+    std::promise<ReconstructResponse<T>> rpromise;
+    RequestCost cost;
+    Clock::time_point submitted;
+  };
+
+  struct SlotStats {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::size_t> arena_high_water{0};
+    std::atomic<std::size_t> arena_reserved{0};
+  };
+
+  static ServeOptions normalize(ServeOptions o) {
+    if (o.workers <= 0) o.workers = static_cast<int>(tune::serve_workers());
+    if (o.workers <= 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      o.workers = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    if (o.queue_depth == 0)
+      o.queue_depth = static_cast<std::size_t>(tune::serve_queue_depth());
+    if (o.flop_budget < 0) o.flop_budget = tune::serve_flop_budget();
+    return o;
+  }
+
+  std::optional<std::future<CompressResponse<T>>> submit_compress(
+      CompressRequest<T> req, bool blocking) {
+    TUCKER_CHECK(req.x != nullptr, "serve: compress request needs a tensor");
+    auto task = std::make_unique<Task>();
+    task->kind = Kind::kCompress;
+    task->cost =
+        compress_cost(req.x->dims(), req.spec, req.method, req.opt, sizeof(T));
+    task->creq = std::move(req);
+    auto fut = task->cpromise.get_future();
+    if (!enqueue(std::move(task), blocking)) return std::nullopt;
+    return fut;
+  }
+
+  std::optional<std::future<ReconstructResponse<T>>> submit_reconstruct(
+      ReconstructRequest<T> req, bool blocking) {
+    auto sm = models_.find(req.model);
+    if (sm == nullptr) return std::nullopt;  // unknown tenant/model
+    auto task = std::make_unique<Task>();
+    task->kind = Kind::kReconstruct;
+    task->cost = sm->cost;
+    task->rreq = std::move(req);
+    auto fut = task->rpromise.get_future();
+    if (!enqueue(std::move(task), blocking)) return std::nullopt;
+    return fut;
+  }
+
+  bool enqueue(std::unique_ptr<Task> task, bool blocking) {
+    const RequestCost cost = task->cost;
+    if (!admission_.try_admit(cost)) return false;
+    task->submitted = Clock::now();
+    {
+      std::lock_guard<std::mutex> lk(done_mu_);
+      ++accepted_;
+    }
+    const bool ok = blocking ? queue_.push(std::move(task))
+                             : queue_.try_push(std::move(task));
+    if (!ok) {
+      admission_.release(cost);
+      shed_queue_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lk(done_mu_);
+        --accepted_;
+      }
+      done_cv_.notify_all();
+      return false;
+    }
+    return true;
+  }
+
+  void worker_main(int slot) {
+    // Cap so all workers together match the pool; pin the small-SVD
+    // dispatch to the uncapped width so sizing the pool differently can
+    // never flip a backend choice (see svd_engine.hpp).
+    const int full = parallel::max_threads();
+    parallel::ThreadWidthCap cap(std::max(1, full / opt_.workers));
+    core::SmallSvdDispatchPin pin(static_cast<index_t>(full));
+    Workspace& arena = Workspace::local();
+    while (auto task = queue_.pop()) {
+      process(**task);
+      arena.reset();  // rewind (and, in debug, poison) -- never frees
+      auto& st = worker_stats_[static_cast<std::size_t>(slot)];
+      st.requests.fetch_add(1, std::memory_order_relaxed);
+      st.arena_high_water.store(arena.high_water(),
+                                std::memory_order_relaxed);
+      st.arena_reserved.store(arena.bytes_reserved(),
+                              std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lk(done_mu_);
+        ++done_;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  void process(Task& task) {
+    try {
+      if (task.kind == Kind::kCompress) {
+        CompressResponse<T> resp;
+        resp.cost = task.cost;
+        resp.result = core::sthosvd(*task.creq.x, task.creq.spec,
+                                    task.creq.method, task.creq.opt);
+        task.creq.x.reset();  // drop the input before fulfilling
+        resp.latency_seconds = seconds_since(task.submitted);
+        admission_.release(task.cost);
+        compress_done_.fetch_add(1, std::memory_order_relaxed);
+        task.cpromise.set_value(std::move(resp));
+      } else {
+        auto sm = models_.find(task.rreq.model);
+        TUCKER_CHECK(sm != nullptr,
+                     "serve: model unregistered while request in flight");
+        ReconstructResponse<T> resp;
+        resp.cost = task.cost;
+        tensor::Tensor<T>* dst =
+            task.rreq.out ? task.rreq.out.get() : &resp.tensor;
+        if (task.rreq.lo.empty()) {
+          core::reconstruct_into(sm->model, *dst, &sm->packs,
+                                 task.rreq.accum);
+        } else {
+          *dst = sm->model.reconstruct_region(task.rreq.lo, task.rreq.hi);
+        }
+        task.rreq.out.reset();  // drop the buffer ref before fulfilling
+        resp.latency_seconds = seconds_since(task.submitted);
+        admission_.release(task.cost);
+        reconstruct_done_.fetch_add(1, std::memory_order_relaxed);
+        task.rpromise.set_value(std::move(resp));
+      }
+    } catch (...) {
+      admission_.release(task.cost);
+      if (task.kind == Kind::kCompress)
+        task.cpromise.set_exception(std::current_exception());
+      else
+        task.rpromise.set_exception(std::current_exception());
+    }
+  }
+
+  static double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+
+  ServeOptions opt_;
+  BoundedQueue<std::unique_ptr<Task>> queue_;
+  AdmissionController admission_;
+  ModelCache<T> models_;
+  std::vector<std::thread> threads_;
+  std::vector<SlotStats> worker_stats_;
+  bool started_ = false;
+
+  std::atomic<std::uint64_t> compress_done_{0};
+  std::atomic<std::uint64_t> reconstruct_done_{0};
+  std::atomic<std::uint64_t> shed_queue_{0};
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::uint64_t accepted_ = 0;  // guarded by done_mu_
+  std::uint64_t done_ = 0;      // guarded by done_mu_
+};
+
+}  // namespace tucker::serve

@@ -482,8 +482,7 @@ StreamSthosvdResult<T> stream_sthosvd(
           }
           red.push_dense(blas::MatView<const T>(b.view()));
         }
-        svd = core::svd_of_l(red.reduce(),
-                             core::SmallSvdBackend::kGolubKahan);
+        svd = core::svd_of_l(red.reduce(), core::SmallSvdBackend::kAuto);
         // Trailing residual pseudo-entry, as rand_svd itself reports.
         svd.sigma_sq.push_back(static_cast<T>(resid_total));
       } else {  // kQr / kStream: per-slab LQ, binary merge tree
@@ -494,8 +493,7 @@ StreamSthosvdResult<T> stream_sthosvd(
           blas::Matrix<T> l = tensor::tensor_lq(slab, n);
           red.push(blas::MatView<const T>(l.view()));
         }
-        svd = core::svd_of_l(red.reduce(),
-                             core::SmallSvdBackend::kGolubKahan);
+        svd = core::svd_of_l(red.reduce(), core::SmallSvdBackend::kAuto);
       }
       out.slabs_read += cur->num_slabs();
     }
@@ -739,7 +737,7 @@ class StreamingTucker {
 
   /// SVD of mode n's persistent triangle -> sigmas, rank, factor.
   void refresh_basis(std::size_t n) {
-    auto svd = core::svd_of_l(tri_[n], core::SmallSvdBackend::kGolubKahan);
+    auto svd = core::svd_of_l(tri_[n], core::SmallSvdBackend::kAuto);
     sigmas_[n].resize(svd.sigma_sq.size());
     for (std::size_t i = 0; i < sigmas_[n].size(); ++i)
       sigmas_[n][i] = std::sqrt(svd.sigma_sq[i]);

@@ -1,0 +1,100 @@
+#pragma once
+// Prepacked factor matrices: the per-model cache behind the serving
+// layer's TTM-only reconstruction fast path.
+//
+// Reconstructing a Tucker model (core x_0 U_0 ... x_{N-1} U_{N-1}) applies
+// the same tall factor matrices to every request. The packed TTM engine
+// stages each factor into the micro-kernel A-panel layout on every call
+// (pack_a inside ttm_packed_into); for a served model that staging is pure
+// rework -- the factors never change between requests. A PrepackedFactor
+// performs the staging exactly once, and ttm_prepacked_into feeds the
+// cached panel to the same block sweep the packed engine runs
+// (detail::ttm_tall_from_panel), so the fast path is bitwise identical to
+// ttm_into at every thread width -- it only skips the per-call pack.
+//
+// Shapes the panel cannot serve fall back to ttm_into on the plain copy:
+// mode 0 (column-major unfolding; tall factors take the transposed-gemm
+// reference path) and short-fat factors (R <= kTtmAxpyMaxR, whose
+// packing-free kernels re-stage a tiny R x k tile per call by design).
+// Reconstruction factors are tall (I_n >= R_n), so for any model worth
+// serving every mode n >= 1 hits the cached panel.
+
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/matrix.hpp"
+#include "common/check.hpp"
+#include "common/precision.hpp"
+#include "tensor/ttm.hpp"
+
+namespace tucker::tensor {
+
+using blas::index_t;
+
+/// A factor matrix staged once for repeated TTM application: a plain
+/// row-major copy plus, for tall factors, the micro-kernel A panel that
+/// pack_a would otherwise rebuild per call.
+template <class T>
+class PrepackedFactor {
+ public:
+  PrepackedFactor() = default;
+  explicit PrepackedFactor(blas::MatView<const T> u) { stage(u); }
+
+  void stage(blas::MatView<const T> u) {
+    plain_ = blas::Matrix<T>::from(u);
+    panel_.clear();
+    if (plain_.rows() > blas::detail::kTtmAxpyMaxR) {
+      panel_.resize(static_cast<std::size_t>(
+          blas::detail::prepacked_a_elems(plain_.rows(), plain_.cols())));
+      blas::detail::pack_a(plain_.cview(), 0, plain_.rows(), 0, plain_.cols(),
+                           T(1), panel_.data());
+    }
+  }
+
+  bool staged() const { return plain_.rows() > 0 && plain_.cols() > 0; }
+  index_t rows() const { return plain_.rows(); }
+  index_t cols() const { return plain_.cols(); }
+  blas::MatView<const T> plain() const { return plain_.cview(); }
+  /// The staged A panel, or nullptr for short-fat factors.
+  const T* panel() const { return panel_.empty() ? nullptr : panel_.data(); }
+  /// Bytes held by the cache entry (reported by the serving stats).
+  std::size_t bytes() const {
+    return (static_cast<std::size_t>(plain_.rows() * plain_.cols()) +
+            panel_.size()) *
+           sizeof(T);
+  }
+
+ private:
+  blas::Matrix<T> plain_;
+  std::vector<T> panel_;
+};
+
+/// Y = X x_n U from a factor staged in a PrepackedFactor. Bitwise
+/// identical to ttm_into(x, n, pf.plain(), y, accum) under either engine
+/// and at every thread width; when the packed engine is active and the
+/// cached panel applies (mode n >= 1, tall factor) the per-call pack_a is
+/// skipped -- the entire point of the cache.
+template <class T>
+void ttm_prepacked_into(const Tensor<T>& x, std::size_t n,
+                        const PrepackedFactor<T>& pf, Tensor<T>& y,
+                        Accum accum = Accum::kNative) {
+  TUCKER_CHECK(pf.staged(), "ttm_prepacked_into: factor not staged");
+  if (n == 0 || pf.panel() == nullptr || ttm_engine() != TtmEngine::kPacked) {
+    ttm_into(x, n, pf.plain(), y, accum);
+    return;
+  }
+  TUCKER_CHECK(n < x.order(), "ttm: mode out of range");
+  TUCKER_CHECK(pf.cols() == x.dim(n), "ttm: inner dimension mismatch");
+  TUCKER_CHECK(&x != &y, "ttm_prepacked_into: x and y must be distinct");
+  y.reshape_mode_of(x, n, pf.rows());
+  if (y.size() == 0 || x.size() == 0) return;
+  if (accum == Accum::kWide) {
+    detail::ttm_tall_from_panel<T, wide_t<T>>(x, n, pf.panel(), pf.rows(),
+                                              pf.cols(), y);
+  } else {
+    detail::ttm_tall_from_panel<T, T>(x, n, pf.panel(), pf.rows(), pf.cols(),
+                                      y);
+  }
+}
+
+}  // namespace tucker::tensor

@@ -142,6 +142,45 @@ index_t ttm_row_chunk(index_t r) {
   return std::clamp<index_t>(aligned, 512, 4096);
 }
 
+/// Tall-factor block sweep shared by the packed engine and the prepacked
+/// reconstruction fast path (tensor/prepacked.hpp): gemm_prepacked_a over
+/// every mode-n (n >= 1) unfolding block from an already-staged A panel
+/// (r x k in micro-kernel layout, as built by pack_a over the full range).
+/// The fanout shape and every per-element chain are identical whether the
+/// panel was packed just now (ttm_packed_into) or cached across calls
+/// (serve's per-model factor cache), so both entry points produce the same
+/// bits at every thread width.
+template <class T, class TA = T>
+void ttm_tall_from_panel(const Tensor<T>& x, std::size_t n, const T* apack,
+                         index_t r, index_t k, Tensor<T>& y) {
+  const index_t before = prod_before(x.dims(), n);
+  const index_t nblocks = unfolding_num_blocks(x, n);
+  const index_t width = parallel::this_thread_width();
+  const double work =
+      2.0 * r * k * static_cast<double>(before) * static_cast<double>(nblocks);
+  const bool fan_out = width > 1 && work >= tune::par_flop_threshold();
+  auto run_block_cols = [&](index_t blk, index_t j0, index_t j1) {
+    auto xb = unfolding_block(x, n, blk);
+    auto yb = unfolding_block(y, n, blk);
+    blas::detail::gemm_prepacked_a<T, TA>(
+        apack, r, k, MatView<const T>(xb.block(0, j0, k, j1 - j0)),
+        yb.block(0, j0, r, j1 - j0));
+  };
+  if (fan_out && nblocks >= 2 * width) {
+    parallel::parallel_for(0, nblocks, 1, [&](index_t lo, index_t hi) {
+      for (index_t b = lo; b < hi; ++b) run_block_cols(b, 0, before);
+    });
+  } else if (fan_out) {
+    for (index_t b = 0; b < nblocks; ++b) {
+      parallel::parallel_for(0, before, 64, [&](index_t j0, index_t j1) {
+        run_block_cols(b, j0, j1);
+      });
+    }
+  } else {
+    for (index_t b = 0; b < nblocks; ++b) run_block_cols(b, 0, before);
+  }
+}
+
 /// Packed engine. The factor is staged in the caller's arena frame before
 /// any fanout; workers only read the staged panel and take their own
 /// B-pack scratch from their own Workspace::local() (ownership rules of
@@ -270,26 +309,7 @@ void ttm_packed_into(const Tensor<T>& x, std::size_t n, MatView<const T> u,
   T* apack =
       ws.get<T>(static_cast<std::size_t>(blas::detail::prepacked_a_elems(r, k)));
   blas::detail::pack_a(u, 0, r, 0, k, T(1), apack);
-  auto run_block_cols = [&](index_t blk, index_t j0, index_t j1) {
-    auto xb = unfolding_block(x, n, blk);
-    auto yb = unfolding_block(y, n, blk);
-    blas::detail::gemm_prepacked_a<T, TA>(
-        apack, r, k, MatView<const T>(xb.block(0, j0, k, j1 - j0)),
-        yb.block(0, j0, r, j1 - j0));
-  };
-  if (fan_out && nblocks >= 2 * width) {
-    parallel::parallel_for(0, nblocks, 1, [&](index_t lo, index_t hi) {
-      for (index_t b = lo; b < hi; ++b) run_block_cols(b, 0, before);
-    });
-  } else if (fan_out) {
-    for (index_t b = 0; b < nblocks; ++b) {
-      parallel::parallel_for(0, before, 64, [&](index_t j0, index_t j1) {
-        run_block_cols(b, j0, j1);
-      });
-    }
-  } else {
-    for (index_t b = 0; b < nblocks; ++b) run_block_cols(b, 0, before);
-  }
+  ttm_tall_from_panel<T, TA>(x, n, apack, r, k, y);
 }
 
 }  // namespace detail

@@ -16,6 +16,7 @@
 //   dist::    processor grids, distributed tensors and kernels
 //   core::    ST-HOSVD (sequential + parallel), Tucker objects, extensions
 //   stream::  out-of-core / incremental drivers over slab sources
+//   serve::   long-lived batched serving layer (queue + arena workers)
 //   data::    synthetic dataset generators
 //   io::      binary tensor / decomposition files (flat + chunked)
 
@@ -54,6 +55,10 @@
 #include "lapack/svd.hpp"
 #include "lapack/tpqrt.hpp"
 #include "lapack/tridiag_eig.hpp"
+#include "serve/admission.hpp"
+#include "serve/model_cache.hpp"
+#include "serve/queue.hpp"
+#include "serve/service.hpp"
 #include "simmpi/breakdown.hpp"
 #include "stream/hier_svd.hpp"
 #include "stream/stream_sthosvd.hpp"
@@ -62,6 +67,7 @@
 #include "simmpi/cost_model.hpp"
 #include "simmpi/runtime.hpp"
 #include "tensor/gram.hpp"
+#include "tensor/prepacked.hpp"
 #include "tensor/preprocess.hpp"
 #include "tensor/tensor.hpp"
 #include "tensor/tensor_lq.hpp"

@@ -13,6 +13,7 @@
 #include "common/precision.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "core/svd_engine.hpp"
 #include "data/synthetic_matrix.hpp"
 #include "lapack/svd.hpp"
 
@@ -220,6 +221,129 @@ TEST(JacobiPipelineTest, RankDeficientTriangleFromLowRankMatrix) {
   for (index_t i = rank; i < n; ++i)
     EXPECT_LE(piped.sigma[static_cast<std::size_t>(i)], 1e-12 * sigma[0]);
   EXPECT_LT(orthonormality_error(piped.u), 1e-12);
+}
+
+// ------------------------------------------------------- kAuto dispatch
+//
+// svd_of_l's default backend is kAuto: classic Golub-Kahan everywhere --
+// never a function of the live thread width, which would break the
+// repo-wide bitwise-across-TUCKER_NUM_THREADS guarantee -- unless a
+// SmallSvdDispatchPin is active (serving workers pin the global pool
+// width, a per-process constant) or TUCKER_SMALL_SVD /
+// core::small_svd_mode() forces a side. These tests pin the dispatch
+// bitwise against the explicit backends on both sides of every knob.
+
+struct ModeGuard {
+  core::SmallSvdMode saved = core::small_svd_mode();
+  ~ModeGuard() { core::small_svd_mode() = saved; }
+};
+
+template <class T>
+void expect_same_mode_svd(const core::ModeSvd<T>& got,
+                          const core::ModeSvd<T>& ref, const char* what) {
+  ASSERT_EQ(got.sigma_sq.size(), ref.sigma_sq.size()) << what;
+  EXPECT_EQ(std::memcmp(got.sigma_sq.data(), ref.sigma_sq.data(),
+                        sizeof(T) * ref.sigma_sq.size()),
+            0)
+      << what;
+  ASSERT_EQ(got.u.rows(), ref.u.rows()) << what;
+  ASSERT_EQ(got.u.cols(), ref.u.cols()) << what;
+  EXPECT_EQ(std::memcmp(got.u.data(), ref.u.data(),
+                        sizeof(T) * static_cast<std::size_t>(ref.u.rows() *
+                                                             ref.u.cols())),
+            0)
+      << what;
+}
+
+TEST(SmallSvdDispatchTest, UnpinnedAutoIsClassicAtEveryWidth) {
+  ThreadsGuard tg;
+  ModeGuard mg;
+  core::small_svd_mode() = core::SmallSvdMode::kAuto;
+  auto l = random_tall<double>(24, 24, 111);
+  for (int threads : {1, 2, 7}) {
+    parallel::set_max_threads(threads);
+    expect_same_mode_svd(
+        core::svd_of_l(l, core::SmallSvdBackend::kAuto),
+        core::svd_of_l(l, core::SmallSvdBackend::kGolubKahan),
+        "unpinned auto == Golub-Kahan regardless of width");
+  }
+}
+
+TEST(SmallSvdDispatchTest, PinnedAutoFollowsPinnedWidth) {
+  ThreadsGuard tg;
+  ModeGuard mg;
+  core::small_svd_mode() = core::SmallSvdMode::kAuto;
+  parallel::set_max_threads(2);
+  auto l = random_tall<double>(24, 24, 112);
+  {
+    core::SmallSvdDispatchPin pin(1);
+    expect_same_mode_svd(
+        core::svd_of_l(l, core::SmallSvdBackend::kAuto),
+        core::svd_of_l(l, core::SmallSvdBackend::kGolubKahan),
+        "pin 1: auto == Golub-Kahan");
+  }
+  for (index_t w : {index_t{2}, index_t{7}}) {
+    core::SmallSvdDispatchPin pin(w);
+    expect_same_mode_svd(
+        core::svd_of_l(l, core::SmallSvdBackend::kAuto),
+        core::svd_of_l(l, core::SmallSvdBackend::kJacobiPipelined),
+        "pin >= 2: auto == pipelined Jacobi");
+  }
+  EXPECT_EQ(core::SmallSvdDispatchPin::pinned(), 0) << "pin restored";
+}
+
+TEST(SmallSvdDispatchTest, ClassicModeOverridesWidth) {
+  ThreadsGuard tg;
+  ModeGuard mg;
+  core::small_svd_mode() = core::SmallSvdMode::kClassic;
+  parallel::set_max_threads(7);
+  auto l = random_tall<double>(20, 20, 113);
+  expect_same_mode_svd(
+      core::svd_of_l(l, core::SmallSvdBackend::kAuto),
+      core::svd_of_l(l, core::SmallSvdBackend::kGolubKahan),
+      "classic override beats width");
+}
+
+TEST(SmallSvdDispatchTest, PipelinedModeOverridesWidth) {
+  ThreadsGuard tg;
+  ModeGuard mg;
+  core::small_svd_mode() = core::SmallSvdMode::kPipelined;
+  parallel::set_max_threads(1);
+  auto l = random_tall<double>(20, 20, 114);
+  expect_same_mode_svd(
+      core::svd_of_l(l, core::SmallSvdBackend::kAuto),
+      core::svd_of_l(l, core::SmallSvdBackend::kJacobiPipelined),
+      "pipelined override beats width");
+}
+
+TEST(SmallSvdDispatchTest, DispatchPinOverridesThreadWidth) {
+  // The serving workers run width-capped but pin the dispatch to the
+  // global pool width, so their responses cannot depend on worker count.
+  ThreadsGuard tg;
+  ModeGuard mg;
+  core::small_svd_mode() = core::SmallSvdMode::kAuto;
+  auto l = random_tall<double>(22, 22, 115);
+  parallel::set_max_threads(1);
+  {
+    core::SmallSvdDispatchPin pin(7);
+    expect_same_mode_svd(
+        core::svd_of_l(l, core::SmallSvdBackend::kAuto),
+        core::svd_of_l(l, core::SmallSvdBackend::kJacobiPipelined),
+        "pin 7 at width 1 -> pipelined");
+  }
+  parallel::set_max_threads(7);
+  {
+    core::SmallSvdDispatchPin pin(1);
+    expect_same_mode_svd(
+        core::svd_of_l(l, core::SmallSvdBackend::kAuto),
+        core::svd_of_l(l, core::SmallSvdBackend::kGolubKahan),
+        "pin 1 at width 7 -> classic");
+  }
+  // Pins restore on scope exit: back to the width-blind default.
+  expect_same_mode_svd(
+      core::svd_of_l(l, core::SmallSvdBackend::kAuto),
+      core::svd_of_l(l, core::SmallSvdBackend::kGolubKahan),
+      "pin restored -> classic regardless of width");
 }
 
 }  // namespace

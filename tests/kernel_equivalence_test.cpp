@@ -465,6 +465,9 @@ TEST(ZeroAllocTest, SthosvdReusesStashedScratch) {
 TEST(KernelEquivalence, SthosvdBitwiseAcrossVariantsAndThreads) {
   using tucker::tensor::Tensor;
   VariantGuard guard;
+  // Runs on the default kAuto small-SVD dispatch: unpinned kAuto resolves
+  // width-independently (jacobi_pipeline_test pins the resolution), so the
+  // sweep covers the default path end users hit.
   Tensor<double> x({16, 14, 12});
   tucker::Rng rng(41);
   for (index_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal<double>();

@@ -292,6 +292,9 @@ TEST_F(ParallelTest, SliceStatisticsBitwiseAcrossThreadCounts) {
 // produce bitwise-identical cores and factors at every thread count.
 template <class T>
 void sthosvd_bitwise_sweep(tucker::core::SvdMethod method) {
+  // Runs on the default kAuto small-SVD dispatch deliberately: unpinned
+  // kAuto must never consult the live width (jacobi_pipeline_test pins the
+  // resolution), so this sweep guards the exact path compress_file takes.
   auto x = tucker::data::random_tensor<T>({14, 12, 10}, /*seed=*/11);
   std::vector<tucker::core::SthosvdResult<T>> rs;
   for (int w : kSweep) {

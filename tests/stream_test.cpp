@@ -442,6 +442,9 @@ TEST_F(StreamDriverTest, TallTrailingModeExactBackProjection) {
 }
 
 TEST_F(StreamDriverTest, ResultBitwiseIndependentOfThreadWidth) {
+  // Runs on the default kAuto small-SVD dispatch: unpinned kAuto resolves
+  // width-independently (jacobi_pipeline_test pins the resolution), so
+  // this sweep covers the default streaming path bit for bit.
   auto x = decaying_tensor({10, 9, 8, 14}, 1e-8, 45);
   const auto spec = core::TruncationSpec::fixed_ranks({5, 5, 4, 6});
   stream::StreamOptions opt;

@@ -5,12 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "blas/blas1.hpp"
 #include "blas/gemm.hpp"
 #include "common/precision.hpp"
 #include "common/rng.hpp"
+#include "core/sthosvd.hpp"
 #include "core/svd_engine.hpp"
+#include "core/tucker_tensor.hpp"
 #include "data/synthetic_matrix.hpp"
 #include "data/synthetic_tensor.hpp"
 #include "lapack/bidiag_svd.hpp"
@@ -388,6 +391,51 @@ TEST(MixedPrecisionTest, HalfSketchStaysOnTheWorkingPrecisionRung) {
                                       MatView<const double>(u.view())),
               0.02)
         << "payload=" << static_cast<int>(payload);
+  }
+}
+
+// The end-to-end theorem rung: a tolerance-eps ST-HOSVD followed by full
+// reconstruction lands within eps of the input (the ST-HOSVD quasi-
+// optimality bound at the truncation the certificate reports), the
+// certificate itself (estimated_relative_error) upper-bounds the measured
+// error up to roundoff slack, and the serving fast path -- prepacked
+// factors through reconstruct_into -- reproduces reconstruct() bitwise, so
+// every bound proved for the plain chain transfers to the served one.
+TEST(RoundTripTest, ReconstructionStaysWithinToleranceRung) {
+  const tensor::Dims dims{24, 20, 16};
+  const auto profile = data::DecayProfile::geometric(1.0, 1e-8);
+  auto x = data::tensor_with_spectra(dims, {profile, profile, profile}, 97);
+
+  for (const double eps : {1e-2, 1e-4}) {
+    for (const auto method : {core::SvdMethod::kQr, core::SvdMethod::kGram}) {
+      const auto res =
+          core::sthosvd(x, core::TruncationSpec::tolerance(eps), method);
+      // Tolerance truncation must actually have truncated (otherwise the
+      // bound below is vacuous).
+      for (std::size_t n = 0; n < dims.size(); ++n)
+        ASSERT_LT(res.ranks[n], dims[n]) << "mode " << n;
+
+      const double measured = core::relative_error(x, res.tucker);
+      const double certified = res.estimated_relative_error();
+      // The per-mode threshold split guarantees certified <= eps; the
+      // measured error matches the certificate up to the method's rung
+      // (eps_w for QR, sqrt(eps_w)-amplified sigmas for Gram -- both far
+      // under the 10% slack at these tolerances).
+      EXPECT_LE(certified, eps * (1 + 1e-12));
+      EXPECT_LE(measured, eps * 1.1)
+          << "eps=" << eps << " method=" << static_cast<int>(method);
+      EXPECT_LE(measured, certified * 1.1 + 1e-12);
+
+      // Served fast path == plain reconstruct(), bitwise.
+      const auto reference = res.tucker.reconstruct();
+      const auto packs = core::prepack_factors(res.tucker);
+      tensor::Tensor<double> fast;
+      core::reconstruct_into(res.tucker, fast, &packs);
+      ASSERT_EQ(fast.dims(), reference.dims());
+      EXPECT_EQ(0, std::memcmp(fast.data(), reference.data(),
+                               static_cast<std::size_t>(fast.size()) *
+                                   sizeof(double)));
+    }
   }
 }
 

@@ -119,6 +119,16 @@ inline std::int64_t sketch_bytes(std::int64_t m, std::int64_t cols,
   return tensor_word * (m * cols + 2 * m * w) + omega_word * (cols * w);
 }
 
+/// Minimum traffic of a batched-serving response scatter: the fused result
+/// read once, the duplicate (or gathered-region) response written once.
+/// This is the *marginal* byte price of a request whose bits are produced
+/// by another request's chain -- the flop price of such a request is zero,
+/// which is exactly what the batch planner re-credits to admission when it
+/// fuses (src/serve/batch.hpp).
+inline std::int64_t scatter_bytes(std::int64_t elems, std::int64_t word) {
+  return 2 * word * elems;
+}
+
 }  // namespace flops
 
 }  // namespace tucker

@@ -150,6 +150,40 @@ inline double serve_flop_budget() {
   return v;
 }
 
+/// Largest fused batch the serving scheduler builds (TUCKER_SERVE_BATCH_MAX,
+/// default 8): a worker pops up to this many queued reconstructions of the
+/// same (model, accum) fusion key as one job for the multi-RHS TTM path.
+/// 1 disables cross-request batching (every request executes alone, the
+/// pre-batching behavior). Batch composition never changes response bits
+/// (see src/serve/batch.hpp); ServeOptions::batch_max overrides per service.
+inline index_t serve_batch_max() {
+  static const index_t v =
+      detail::env_index("TUCKER_SERVE_BATCH_MAX", 8, 1, 4096);
+  return v;
+}
+
+/// How long a worker holding a partial batch lingers for more same-key
+/// arrivals, in microseconds (TUCKER_SERVE_BATCH_WAIT_US, default 0 = take
+/// only what is already queued). A nonzero window trades p50 latency for
+/// fuller batches under bursty arrivals; it never changes response bits.
+inline index_t serve_batch_wait_us() {
+  static const index_t v =
+      detail::env_index("TUCKER_SERVE_BATCH_WAIT_US", 0, 0, 1 << 30);
+  return v;
+}
+
+/// LRU capacity of the serving model cache in models
+/// (TUCKER_SERVE_CACHE_MODELS, default 0 = unbounded): beyond it the
+/// least-recently-served model is evicted -- its prepacked panels freed --
+/// so a long-lived service with tenant churn stops accumulating pack bytes.
+/// Requests naming an evicted id are refused at submit (the tenant
+/// re-registers). ServeOptions::cache_models overrides per service.
+inline index_t serve_cache_models() {
+  static const index_t v =
+      detail::env_index("TUCKER_SERVE_CACHE_MODELS", 0, 0, 1 << 20);
+  return v;
+}
+
 /// Mode window of the overlapped randomized driver (TUCKER_MODE_WINDOW):
 /// how many modes sketch concurrently from the same window-source tensor.
 /// 1 reproduces sequential ST-HOSVD bitwise; >1 is the mode-parallel

@@ -123,6 +123,179 @@ void reconstruct_into(const TuckerTensor<T>& tk, tensor::Tensor<T>& out,
   }
 }
 
+/// What one request of a fused reconstruction batch wants materialized:
+/// either the whole tensor (empty lo/hi) or the half-open sub-box
+/// [lo_n, hi_n) per mode (the reconstruct_region contract).
+struct DemandBox {
+  std::vector<blas::index_t> lo, hi;
+  bool full() const { return lo.empty(); }
+};
+
+/// Copies the sub-box [lo, hi) out of a fully reconstructed tensor into
+/// `out` (reshaped to the box dims). Pure data movement -- every copied
+/// element keeps the exact bits the full chain produced, which is why the
+/// batched serving path may answer a region request from a fused full
+/// reconstruction (native accumulation only; see reconstruct_batch_into).
+template <class T>
+void gather_region_into(const tensor::Tensor<T>& full,
+                        const std::vector<blas::index_t>& lo,
+                        const std::vector<blas::index_t>& hi,
+                        tensor::Tensor<T>& out) {
+  const std::size_t nmodes = full.order();
+  TUCKER_CHECK(lo.size() == nmodes && hi.size() == nmodes,
+               "gather_region_into: one range per mode");
+  tensor::Dims box(nmodes);
+  for (std::size_t n = 0; n < nmodes; ++n) {
+    TUCKER_CHECK(0 <= lo[n] && lo[n] <= hi[n] && hi[n] <= full.dim(n),
+                 "gather_region_into: range out of bounds");
+    box[n] = hi[n] - lo[n];
+  }
+  out.reshape(box);
+  if (out.size() == 0) return;
+  if (nmodes == 0) {
+    out.data()[0] = full.data()[0];
+    return;
+  }
+  // Mode 0 is fastest-varying (TuckerMPI layout), so each run of
+  // box[0] elements is contiguous in both tensors; odometer the modes
+  // above it.
+  const blas::index_t run = box[0];
+  std::vector<blas::index_t> idx(nmodes, 0);  // box-relative, modes >= 1
+  const blas::index_t nruns = out.size() / std::max<blas::index_t>(run, 1);
+  const T* src = full.data();
+  T* dst = out.data();
+  for (blas::index_t r = 0; r < nruns; ++r) {
+    blas::index_t off = lo[0];
+    blas::index_t stride = full.dim(0);
+    for (std::size_t n = 1; n < nmodes; ++n) {
+      off += (lo[n] + idx[n]) * stride;
+      stride *= full.dim(n);
+    }
+    for (blas::index_t i = 0; i < run; ++i) dst[i] = src[off + i];
+    dst += run;
+    for (std::size_t n = 1; n < nmodes; ++n) {
+      if (++idx[n] < box[n]) break;
+      idx[n] = 0;
+    }
+  }
+}
+
+namespace detail {
+
+/// Persistent scratch of reconstruct_batch_into: one arena-independent
+/// ping-pong pair per chain plus the per-mode grouping vectors, stashed on
+/// the worker's Workspace so a steady stream of fused jobs performs no
+/// heap allocation after warm-up (grow-only, like the solo path's stash).
+template <class T>
+struct BatchScratch {
+  std::vector<std::array<tensor::Tensor<T>, 2>> pp;
+  std::vector<const tensor::Tensor<T>*> srcs;
+  std::vector<int> slots;
+  std::vector<const tensor::Tensor<T>*> xs_native, xs_wide;
+  std::vector<tensor::Tensor<T>*> ys_native, ys_wide;
+};
+
+}  // namespace detail
+
+/// Reconstructs one demand box per chain through fused per-mode TTM
+/// passes: at every mode, all chains whose box spans the mode's full range
+/// go through a single multi-RHS prepacked pass (tensor::ttm_packed_multi_into
+/// -- the factor panel streams through cache once for the whole batch),
+/// while sliced chains apply their factor row-block exactly as
+/// reconstruct_region does. Bitwise contract (the serving layer's hard
+/// invariant): every full-box output equals reconstruct_into(tk, out,
+/// packs, accum) bit for bit, and every region output equals
+/// reconstruct_region(lo, hi) bit for bit, regardless of batch
+/// composition, chain order, or thread width. Region chains always
+/// accumulate natively -- mirroring reconstruct_region -- so a kWide fused
+/// job runs its full-box chains wide and its region chains native, in two
+/// grouped passes per mode.
+template <class T>
+void reconstruct_batch_into(const TuckerTensor<T>& tk,
+                            const std::vector<DemandBox>& boxes,
+                            const std::vector<tensor::Tensor<T>*>& outs,
+                            const std::vector<tensor::PrepackedFactor<T>>*
+                                packs = nullptr,
+                            Accum accum = Accum::kNative) {
+  const std::size_t nmodes = tk.factors.size();
+  const std::size_t nchains = boxes.size();
+  TUCKER_CHECK(outs.size() == nchains,
+               "reconstruct_batch_into: one output per box");
+  TUCKER_CHECK(packs == nullptr || packs->size() == nmodes,
+               "reconstruct_batch_into: one prepacked factor per mode");
+  if (nchains == 0) return;
+  if (nchains == 1 && boxes[0].full()) {
+    // Delegate so a batch that degenerates to one full request walks the
+    // identical scratch path (and arena watermark) as the unbatched one.
+    reconstruct_into(tk, *outs[0], packs, accum);
+    return;
+  }
+  for (const auto& b : boxes) {
+    if (b.full()) continue;
+    TUCKER_CHECK(b.lo.size() == nmodes && b.hi.size() == nmodes,
+                 "reconstruct_batch_into: one range per mode");
+    for (std::size_t n = 0; n < nmodes; ++n)
+      TUCKER_CHECK(0 <= b.lo[n] && b.lo[n] <= b.hi[n] &&
+                       b.hi[n] <= tk.factors[n].rows(),
+                   "reconstruct_batch_into: range out of bounds");
+  }
+  if (nmodes == 0) {
+    for (std::size_t b = 0; b < nchains; ++b) *outs[b] = tk.core;
+    return;
+  }
+
+  auto& sc = Workspace::local().stash<detail::BatchScratch<T>>(
+      "core.reconstruct.batch");
+  if (sc.pp.size() < nchains) sc.pp.resize(nchains);
+  sc.srcs.assign(nchains, &tk.core);
+  sc.slots.assign(nchains, 0);
+
+  for (std::size_t n = 0; n < nmodes; ++n) {
+    sc.xs_native.clear();
+    sc.ys_native.clear();
+    sc.xs_wide.clear();
+    sc.ys_wide.clear();
+    const blas::index_t rows_full = tk.factors[n].rows();
+    for (std::size_t b = 0; b < nchains; ++b) {
+      tensor::Tensor<T>* dst =
+          (n + 1 == nmodes) ? outs[b] : &sc.pp[b][sc.slots[b]];
+      const bool sliced =
+          !boxes[b].full() &&
+          (boxes[b].lo[n] != 0 || boxes[b].hi[n] != rows_full);
+      if (sliced) {
+        // Same sliced-factor TTM (and native accumulation) as
+        // reconstruct_region -- the chain must reproduce its bits exactly.
+        auto rows = tk.factors[n].view().block(
+            boxes[b].lo[n], 0, boxes[b].hi[n] - boxes[b].lo[n],
+            tk.factors[n].cols());
+        tensor::ttm_into(*sc.srcs[b], n, blas::MatView<const T>(rows), *dst,
+                         Accum::kNative);
+      } else if (boxes[b].full() && accum == Accum::kWide) {
+        sc.xs_wide.push_back(sc.srcs[b]);
+        sc.ys_wide.push_back(dst);
+      } else {
+        sc.xs_native.push_back(sc.srcs[b]);
+        sc.ys_native.push_back(dst);
+      }
+      sc.srcs[b] = dst;
+      sc.slots[b] ^= 1;
+    }
+    auto run_group = [&](const std::vector<const tensor::Tensor<T>*>& xs,
+                         const std::vector<tensor::Tensor<T>*>& ys,
+                         Accum a) {
+      if (xs.empty()) return;
+      if (packs != nullptr) {
+        tensor::ttm_packed_multi_into(xs, n, (*packs)[n], ys, a);
+      } else {
+        for (std::size_t i = 0; i < xs.size(); ++i)
+          tensor::ttm_into(*xs[i], n, tk.factors[n].cview(), *ys[i], a);
+      }
+    };
+    run_group(sc.xs_native, sc.ys_native, Accum::kNative);
+    run_group(sc.xs_wide, sc.ys_wide, Accum::kWide);
+  }
+}
+
 /// Normwise relative error ||x - xhat|| / ||x||, accumulated in double.
 template <class T>
 double relative_error(const tensor::Tensor<T>& x, const TuckerTensor<T>& tk) {

@@ -106,6 +106,31 @@ inline RequestCost reconstruct_cost(const tensor::Dims& core_dims,
   return c;
 }
 
+/// Price of a region reconstruction over the half-open box [lo, hi): the
+/// same per-mode TTM chain as reconstruct_cost, but each mode expands only
+/// to its requested row range (the factor is sliced before the TTM, so the
+/// intermediate never grows past the box -- exactly what
+/// TuckerTensor::reconstruct_region and the batched region chains execute).
+inline RequestCost region_cost(const tensor::Dims& core_dims,
+                               const std::vector<index_t>& lo,
+                               const std::vector<index_t>& hi,
+                               std::size_t word) {
+  RequestCost c;
+  tensor::Dims cur = core_dims;
+  for (std::size_t n = 0; n < core_dims.size(); ++n) {
+    index_t cols = 1;
+    for (std::size_t j = 0; j < cur.size(); ++j)
+      if (j != n) cols *= cur[j];
+    const index_t rows = hi[n] - lo[n];
+    c.flops += 2.0 * static_cast<double>(rows) *
+               static_cast<double>(cur[n]) * static_cast<double>(cols);
+    c.bytes += static_cast<double>(
+        flops::gemm_bytes(rows, cols, cur[n], word));
+    cur[n] = rows;
+  }
+  return c;
+}
+
 /// Tracks modeled flops in flight and sheds requests that would exceed the
 /// budget. Thread-safe; release() must be called exactly once per admitted
 /// request (the service does it when the worker finishes).

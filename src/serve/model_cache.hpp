@@ -7,13 +7,24 @@
 // (priced once, charged by admission on every request). Entries are held
 // by shared_ptr-to-const so a worker mid-reconstruction keeps its model
 // alive even if the tenant unregisters it concurrently.
+//
+// Capacity: the cache is LRU-capped at `max_models` entries (default
+// TUCKER_SERVE_CACHE_MODELS; 0 = unbounded, the pre-cap behavior). Both
+// find() and insert() count as use. Beyond the cap the least-recently-used
+// model is dropped -- its packed panels freed once the last in-flight
+// request releases its shared_ptr -- so a long-lived service with tenant
+// churn stops accumulating pack bytes. A request naming an evicted id is
+// refused at submit exactly like an unregistered one; the tenant
+// re-registers and gets a fresh id (ids are never reused).
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <utility>
 
+#include "common/tuning.hpp"
 #include "core/tucker_tensor.hpp"
 #include "serve/admission.hpp"
 
@@ -33,8 +44,16 @@ struct ServedModel {
 template <class T>
 class ModelCache {
  public:
+  /// `max_models` caps the cache (0 = unbounded); defaults to the
+  /// TUCKER_SERVE_CACHE_MODELS knob.
+  explicit ModelCache(
+      std::size_t max_models =
+          static_cast<std::size_t>(tune::serve_cache_models()))
+      : max_models_(max_models) {}
+
   /// Registers a model: stages the factor panels, prices a reconstruction,
   /// returns the id reconstruction requests refer to. Ids are never reused.
+  /// May evict the least-recently-used entry when the cache is at capacity.
   ModelId insert(core::TuckerTensor<T> m) {
     auto sm = std::make_shared<ServedModel<T>>();
     sm->model = std::move(m);
@@ -44,20 +63,34 @@ class ModelCache {
     for (const auto& p : sm->packs) sm->pack_bytes += p.bytes();
     std::lock_guard<std::mutex> lk(mu_);
     const ModelId id = next_++;
-    models_.emplace(id, std::move(sm));
+    lru_.push_front(id);
+    models_.emplace(id, Entry{std::move(sm), lru_.begin()});
+    while (max_models_ > 0 && models_.size() > max_models_) {
+      const ModelId victim = lru_.back();
+      lru_.pop_back();
+      models_.erase(victim);
+      ++evictions_;
+    }
     return id;
   }
 
-  /// nullptr when the id is unknown (or already unregistered).
+  /// nullptr when the id is unknown (unregistered or evicted). A hit bumps
+  /// the model to most-recently-used.
   std::shared_ptr<const ServedModel<T>> find(ModelId id) const {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = models_.find(id);
-    return it == models_.end() ? nullptr : it->second;
+    if (it == models_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return it->second.model;
   }
 
   bool erase(ModelId id) {
     std::lock_guard<std::mutex> lk(mu_);
-    return models_.erase(id) != 0;
+    auto it = models_.find(id);
+    if (it == models_.end()) return false;
+    lru_.erase(it->second.pos);
+    models_.erase(it);
+    return true;
   }
 
   std::size_t size() const {
@@ -65,18 +98,35 @@ class ModelCache {
     return models_.size();
   }
 
+  /// LRU evictions performed so far (capacity-driven only; erase() is not
+  /// counted).
+  std::uint64_t evictions() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return evictions_;
+  }
+
+  std::size_t capacity() const { return max_models_; }
+
   /// Total bytes of staged panels + plain copies across the cache.
   std::size_t pack_bytes() const {
     std::lock_guard<std::mutex> lk(mu_);
     std::size_t total = 0;
-    for (const auto& [id, sm] : models_) total += sm->pack_bytes;
+    for (const auto& [id, e] : models_) total += e.model->pack_bytes;
     return total;
   }
 
  private:
+  struct Entry {
+    std::shared_ptr<const ServedModel<T>> model;
+    std::list<ModelId>::iterator pos;
+  };
+
   mutable std::mutex mu_;
+  std::size_t max_models_;
   ModelId next_ = 1;
-  std::map<ModelId, std::shared_ptr<const ServedModel<T>>> models_;
+  std::uint64_t evictions_ = 0;
+  mutable std::list<ModelId> lru_;  // front = most recently used
+  std::map<ModelId, Entry> models_;
 };
 
 }  // namespace tucker::serve

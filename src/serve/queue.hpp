@@ -9,17 +9,25 @@
 // deepest backlog observed: the queue-side analogue of the Workspace
 // arena watermark, reported by Service::stats().
 //
-// Ordering is strict FIFO. Which worker pops which request is scheduling-
-// dependent, but every kernel underneath is bitwise thread-invariant and
-// workers share no mutable per-request state, so responses never depend on
-// the pop interleaving (tests/serve_test.cpp pins this with memcmp).
+// Ordering: pop() is strict FIFO. pop_group() -- the batching scheduler's
+// entry point -- is FIFO *within* a fusion key but round-robin *across*
+// keys: the pivot is the oldest request of the next key after the last key
+// served, so one hot tenant flooding the queue cannot starve the others.
+// Which worker pops which request is scheduling-dependent either way, but
+// every kernel underneath is bitwise thread-invariant and workers share no
+// mutable per-request state, so responses never depend on the pop order
+// (tests/serve_test.cpp and tests/serve_batch_test.cpp pin this with
+// memcmp).
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace tucker::serve {
 
@@ -70,6 +78,80 @@ class BoundedQueue {
     return out;
   }
 
+  /// Batched dequeue for the fusion scheduler. `key_of(item)` returns
+  /// {fusion key, fusable}: items sharing a key (and fusable) may execute
+  /// as one fused job. Blocks like pop() until work or close, then:
+  ///
+  ///  1. picks the pivot by per-key round-robin -- the oldest item of the
+  ///     smallest key greater than the last key served (wrapping), so keys
+  ///     take turns and one hot tenant cannot monopolize the workers;
+  ///  2. if the pivot is not fusable (or max == 1), returns just the pivot;
+  ///  3. otherwise sweeps the backlog front-to-back for same-key fusable
+  ///     items (FIFO within the key) up to `max`, and -- if still short and
+  ///     `wait` is nonzero -- lingers up to `wait` for more same-key
+  ///     arrivals. Claimed items leave the queue immediately, so other
+  ///     workers keep draining the remaining keys during the linger.
+  ///
+  /// Returns empty only when the queue is closed and drained.
+  template <class KeyFn>
+  std::vector<T> pop_group(std::size_t max, std::chrono::microseconds wait,
+                           KeyFn&& key_of) {
+    std::vector<T> out;
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return out;
+
+    // Round-robin pivot: smallest key > rr_last_, else smallest key.
+    std::size_t pivot = 0;
+    bool have_next = false, have_min = false;
+    std::uint64_t next_key = 0, min_key = 0;
+    std::size_t next_at = 0, min_at = 0;
+    for (std::size_t i = 0; i < q_.size(); ++i) {
+      const std::uint64_t k = key_of(q_[i]).first;
+      if (!have_min || k < min_key) {
+        have_min = true;
+        min_key = k;
+        min_at = i;
+      }
+      if (k > rr_last_ && (!have_next || k < next_key)) {
+        have_next = true;
+        next_key = k;
+        next_at = i;
+      }
+    }
+    pivot = have_next ? next_at : min_at;
+    const auto [pkey, pfusable] = key_of(q_[pivot]);
+    rr_last_ = pkey;
+
+    out.push_back(std::move(q_[pivot]));
+    q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(pivot));
+    if (pfusable && max > 1) {
+      auto sweep = [&] {
+        for (std::size_t i = 0; i < q_.size() && out.size() < max;) {
+          const auto [k, fusable] = key_of(q_[i]);
+          if (fusable && k == pkey) {
+            out.push_back(std::move(q_[i]));
+            q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(i));
+          } else {
+            ++i;
+          }
+        }
+      };
+      sweep();
+      if (out.size() < max && wait.count() > 0 && !closed_) {
+        const auto deadline = std::chrono::steady_clock::now() + wait;
+        while (out.size() < max && !closed_ &&
+               not_empty_.wait_until(lk, deadline) !=
+                   std::cv_status::timeout) {
+          sweep();
+        }
+      }
+    }
+    lk.unlock();
+    not_full_.notify_all();
+    return out;
+  }
+
   /// Fails pending and future pushes; pops drain what was accepted.
   void close() {
     {
@@ -97,6 +179,7 @@ class BoundedQueue {
   std::deque<T> q_;
   std::size_t cap_;
   std::size_t high_water_ = 0;
+  std::uint64_t rr_last_ = 0;  // last fusion key served (round-robin state)
   bool closed_ = false;
 };
 

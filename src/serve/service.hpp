@@ -23,11 +23,23 @@
 // request is just the ping-pong TTM chain of core::reconstruct_into over
 // cached panels -- no SVD, no pack_a, no steady-state allocation.
 //
+// Cross-request batching (DESIGN.md Sec 15): with batch_max > 1 a worker
+// drains up to batch_max queued reconstructions of one (model, accum)
+// fusion key as a single fused job -- per-tenant round-robin across keys,
+// FIFO within a key (BoundedQueue::pop_group). The batch planner
+// (serve/batch.hpp) dedups identical demand boxes, answers region
+// requests out of a fused full reconstruction where bitwise-safe, and
+// runs the remaining chains through core::reconstruct_batch_into, whose
+// per-mode multi-RHS prepacked TTM passes stream each factor panel
+// through cache once for the whole batch. Fused requests are re-priced at
+// their *marginal* modeled cost and the difference refunded to admission.
+//
 // Determinism contract: every kernel underneath is bitwise-invariant to
 // thread width, workers share no mutable per-request state, and the
 // dispatch pin removes the one width-sensitive policy choice; therefore
-// responses are bitwise identical across worker counts and queue
-// interleavings (pinned by tests/serve_test.cpp).
+// responses are bitwise identical across worker counts, queue
+// interleavings, and batch compositions (pinned by tests/serve_test.cpp
+// and tests/serve_batch_test.cpp).
 
 #include <atomic>
 #include <chrono>
@@ -48,6 +60,7 @@
 #include "core/svd_engine.hpp"
 #include "core/tucker_tensor.hpp"
 #include "serve/admission.hpp"
+#include "serve/batch.hpp"
 #include "serve/model_cache.hpp"
 #include "serve/queue.hpp"
 
@@ -65,6 +78,15 @@ struct ServeOptions {
   /// Tests: construct stopped, enqueue a fixed batch, then start() -- a
   /// deterministic interleaving for shed and ordering assertions.
   bool autostart = true;
+  /// Largest fused reconstruction batch; 0 defers to TUCKER_SERVE_BATCH_MAX.
+  /// 1 disables batching (strict-FIFO pop, the pre-batching behavior).
+  std::size_t batch_max = 0;
+  /// Microseconds a worker holding a partial batch lingers for more
+  /// same-key arrivals; negative defers to TUCKER_SERVE_BATCH_WAIT_US.
+  long batch_wait_us = -1;
+  /// Model-cache LRU capacity in models; negative defers to
+  /// TUCKER_SERVE_CACHE_MODELS. 0 = unbounded.
+  long cache_models = -1;
 };
 
 template <class T>
@@ -124,6 +146,11 @@ struct ServeStats {
   double in_flight_flops = 0;
   std::size_t model_count = 0;
   std::size_t model_pack_bytes = 0;
+  std::uint64_t batches_done = 0;      // fused groups (>= 2 requests) run
+  std::uint64_t batched_requests = 0;  // requests answered inside them
+  std::size_t batch_size_high_water = 0;
+  double batched_flops_saved = 0;  // admission refunds (marginal pricing)
+  std::uint64_t model_evictions = 0;  // LRU cache evictions
   std::vector<WorkerStats> workers;
 };
 
@@ -133,7 +160,8 @@ class Service {
   explicit Service(ServeOptions opt = {})
       : opt_(normalize(opt)),
         queue_(opt_.queue_depth),
-        admission_(opt_.flop_budget) {
+        admission_(opt_.flop_budget),
+        models_(static_cast<std::size_t>(opt_.cache_models)) {
     if (opt_.autostart) start();
   }
   ~Service() { stop(); }
@@ -206,6 +234,12 @@ class Service {
     s.in_flight_flops = admission_.in_flight_flops();
     s.model_count = models_.size();
     s.model_pack_bytes = models_.pack_bytes();
+    s.batches_done = batches_done_.load(std::memory_order_relaxed);
+    s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+    s.batch_size_high_water =
+        batch_high_water_.load(std::memory_order_relaxed);
+    s.batched_flops_saved = flops_saved_.load(std::memory_order_relaxed);
+    s.model_evictions = models_.evictions();
     s.workers.reserve(worker_stats_.size());
     for (const auto& ws : worker_stats_) {
       WorkerStats w;
@@ -230,6 +264,8 @@ class Service {
     std::promise<ReconstructResponse<T>> rpromise;
     RequestCost cost;
     Clock::time_point submitted;
+    std::uint64_t batch_key = 0;  // serve::fuse_key; 0 = never fuses
+    bool fusable = false;
   };
 
   struct SlotStats {
@@ -247,6 +283,12 @@ class Service {
     if (o.queue_depth == 0)
       o.queue_depth = static_cast<std::size_t>(tune::serve_queue_depth());
     if (o.flop_budget < 0) o.flop_budget = tune::serve_flop_budget();
+    if (o.batch_max == 0)
+      o.batch_max = static_cast<std::size_t>(tune::serve_batch_max());
+    if (o.batch_wait_us < 0)
+      o.batch_wait_us = static_cast<long>(tune::serve_batch_wait_us());
+    if (o.cache_models < 0)
+      o.cache_models = static_cast<long>(tune::serve_cache_models());
     return o;
   }
 
@@ -266,10 +308,28 @@ class Service {
   std::optional<std::future<ReconstructResponse<T>>> submit_reconstruct(
       ReconstructRequest<T> req, bool blocking) {
     auto sm = models_.find(req.model);
-    if (sm == nullptr) return std::nullopt;  // unknown tenant/model
+    if (sm == nullptr) return std::nullopt;  // unknown/evicted tenant model
     auto task = std::make_unique<Task>();
     task->kind = Kind::kReconstruct;
-    task->cost = sm->cost;
+    // Regions are priced at their own (smaller) TTM chain; malformed
+    // region bounds keep the full price and stay unfusable, so the worker
+    // runs them alone and they hit the same fail-fast TUCKER_CHECK the
+    // unbatched path fires -- a bad request never takes a batch with it.
+    bool valid = true;
+    if (!req.lo.empty() || !req.hi.empty()) {
+      const std::size_t nm = sm->model.factors.size();
+      valid = req.lo.size() == nm && req.hi.size() == nm;
+      for (std::size_t n = 0; valid && n < nm; ++n)
+        valid = 0 <= req.lo[n] && req.lo[n] <= req.hi[n] &&
+                req.hi[n] <= sm->model.factors[n].rows();
+      task->cost = valid ? region_cost(sm->model.core_dims(), req.lo, req.hi,
+                                       sizeof(T))
+                         : sm->cost;
+    } else {
+      task->cost = sm->cost;
+    }
+    task->batch_key = fuse_key(req.model, req.accum);
+    task->fusable = valid;
     task->rreq = std::move(req);
     auto fut = task->rpromise.get_future();
     if (!enqueue(std::move(task), blocking)) return std::nullopt;
@@ -307,18 +367,39 @@ class Service {
     parallel::ThreadWidthCap cap(std::max(1, full / opt_.workers));
     core::SmallSvdDispatchPin pin(static_cast<index_t>(full));
     Workspace& arena = Workspace::local();
-    while (auto task = queue_.pop()) {
-      process(**task);
+    const auto wait = std::chrono::microseconds(opt_.batch_wait_us);
+    std::vector<std::unique_ptr<Task>> group;
+    while (true) {
+      if (opt_.batch_max <= 1) {
+        // Batching disabled: strict-FIFO pop, the pre-batching behavior.
+        auto task = queue_.pop();
+        if (!task) break;
+        group.clear();
+        group.push_back(std::move(*task));
+      } else {
+        group = queue_.pop_group(
+            opt_.batch_max, wait, [](const std::unique_ptr<Task>& t) {
+              return std::pair<std::uint64_t, bool>(t->batch_key, t->fusable);
+            });
+        if (group.empty()) break;
+      }
+      if (group.size() == 1) {
+        process(*group.front());  // the exact unbatched path
+      } else {
+        process_group(group);
+      }
+      const std::uint64_t n = group.size();
+      group.clear();  // drop tasks before reporting them done
       arena.reset();  // rewind (and, in debug, poison) -- never frees
       auto& st = worker_stats_[static_cast<std::size_t>(slot)];
-      st.requests.fetch_add(1, std::memory_order_relaxed);
+      st.requests.fetch_add(n, std::memory_order_relaxed);
       st.arena_high_water.store(arena.high_water(),
                                 std::memory_order_relaxed);
       st.arena_reserved.store(arena.bytes_reserved(),
                               std::memory_order_relaxed);
       {
         std::lock_guard<std::mutex> lk(done_mu_);
-        ++done_;
+        done_ += n;
       }
       done_cv_.notify_all();
     }
@@ -365,6 +446,119 @@ class Service {
     }
   }
 
+  // A fused group: every task is a reconstruction against the same
+  // (model, accum) fusion key -- pop_group only groups equal keys, and
+  // every box was validated at submit (fusable). Plans the batch, refunds
+  // the marginal-pricing difference, runs the fused chains, materializes
+  // gathers/copies, then fulfills promises in task order. Any failure
+  // rejects every not-yet-fulfilled promise with the same exception the
+  // unbatched path would surface.
+  void process_group(std::vector<std::unique_ptr<Task>>& group) {
+    const std::size_t m = group.size();
+    std::vector<ReconstructResponse<T>> resps(m);
+    std::vector<char> fulfilled(m, 0);
+    auto dst = [&](std::size_t i) -> tensor::Tensor<T>* {
+      return group[i]->rreq.out ? group[i]->rreq.out.get() : &resps[i].tensor;
+    };
+    try {
+      auto sm = models_.find(group[0]->rreq.model);
+      TUCKER_CHECK(sm != nullptr,
+                   "serve: model unregistered while request in flight");
+      const Accum accum = group[0]->rreq.accum;
+      const double full_elems =
+          static_cast<double>(tensor::num_elements(sm->model.full_dims()));
+
+      auto& plan = Workspace::local().stash<FusedPlan>("serve.batch.plan");
+      auto& items =
+          Workspace::local().stash<std::vector<PlanItem>>("serve.batch.items");
+      items.clear();
+      for (std::size_t i = 0; i < m; ++i) {
+        const auto& r = group[i]->rreq;
+        PlanItem it;
+        it.admitted = group[i]->cost;
+        if (!r.lo.empty()) {
+          it.lo = &r.lo;
+          it.hi = &r.hi;
+          double e = 1;
+          for (std::size_t n = 0; n < r.lo.size(); ++n)
+            e *= static_cast<double>(r.hi[n] - r.lo[n]);
+          it.elems = e;
+        } else {
+          it.elems = full_elems;
+        }
+        items.push_back(it);
+      }
+      plan_batch(items, accum, sizeof(T), plan);
+
+      // Refund the marginal-pricing difference the moment the plan is
+      // fixed: a copy/gather request keeps only its scatter bytes, so its
+      // completion release below balances its admission charge exactly.
+      for (std::size_t i = 0; i < m; ++i) {
+        if (plan.assign[i].src == FusedPlan::Source::kChain) continue;
+        admission_.release({group[i]->cost.flops, 0});
+        group[i]->cost = plan.marginal[i];
+      }
+      add_flops_saved(plan.flops_saved);
+
+      std::vector<core::DemandBox> boxes;
+      std::vector<tensor::Tensor<T>*> outs;
+      boxes.reserve(plan.chain_tasks.size());
+      outs.reserve(plan.chain_tasks.size());
+      for (std::size_t c : plan.chain_tasks) {
+        core::DemandBox b;
+        if (!group[c]->rreq.lo.empty()) {
+          b.lo = group[c]->rreq.lo;
+          b.hi = group[c]->rreq.hi;
+        }
+        boxes.push_back(std::move(b));
+        outs.push_back(dst(c));
+      }
+      core::reconstruct_batch_into(sm->model, boxes, outs, &sm->packs, accum);
+      for (std::size_t i = 0; i < m; ++i)
+        if (plan.assign[i].src == FusedPlan::Source::kGather)
+          core::gather_region_into(*dst(plan.assign[i].ref),
+                                   group[i]->rreq.lo, group[i]->rreq.hi,
+                                   *dst(i));
+      for (std::size_t i = 0; i < m; ++i)
+        if (plan.assign[i].src == FusedPlan::Source::kCopy)
+          *dst(i) = *dst(plan.assign[i].ref);
+
+      batches_done_.fetch_add(1, std::memory_order_relaxed);
+      batched_requests_.fetch_add(m, std::memory_order_relaxed);
+      std::size_t hw = batch_high_water_.load(std::memory_order_relaxed);
+      while (m > hw && !batch_high_water_.compare_exchange_weak(
+                           hw, m, std::memory_order_relaxed)) {
+      }
+
+      for (std::size_t i = 0; i < m; ++i) {
+        auto& task = *group[i];
+        resps[i].cost = task.cost;
+        task.rreq.out.reset();  // drop the buffer ref before fulfilling
+        resps[i].latency_seconds = seconds_since(task.submitted);
+        admission_.release(task.cost);
+        reconstruct_done_.fetch_add(1, std::memory_order_relaxed);
+        fulfilled[i] = 1;
+        task.rpromise.set_value(std::move(resps[i]));
+      }
+    } catch (...) {
+      for (std::size_t i = 0; i < m; ++i) {
+        if (fulfilled[i]) continue;
+        admission_.release(group[i]->cost);
+        group[i]->rpromise.set_exception(std::current_exception());
+      }
+    }
+  }
+
+  // std::atomic<double> has no fetch_add until C++20's library support is
+  // uniform; a CAS loop is portable and this is a per-batch statistic.
+  void add_flops_saved(double v) {
+    if (v <= 0) return;
+    double cur = flops_saved_.load(std::memory_order_relaxed);
+    while (!flops_saved_.compare_exchange_weak(cur, cur + v,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+
   static double seconds_since(Clock::time_point t0) {
     return std::chrono::duration<double>(Clock::now() - t0).count();
   }
@@ -380,6 +574,10 @@ class Service {
   std::atomic<std::uint64_t> compress_done_{0};
   std::atomic<std::uint64_t> reconstruct_done_{0};
   std::atomic<std::uint64_t> shed_queue_{0};
+  std::atomic<std::uint64_t> batches_done_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::size_t> batch_high_water_{0};
+  std::atomic<double> flops_saved_{0};
 
   std::mutex done_mu_;
   std::condition_variable done_cv_;

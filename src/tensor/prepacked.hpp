@@ -97,4 +97,43 @@ void ttm_prepacked_into(const Tensor<T>& x, std::size_t n,
   }
 }
 
+/// Batched Y_i = X_i x_n U for a whole group of right-hand sides against
+/// one staged factor: the multi-RHS kernel of the batched serving path.
+/// The X_i may differ in every dimension except mode n (region chains
+/// fused with full chains); each Y_i is reshaped in place like ttm_into.
+/// Bitwise identical, per item, to ttm_prepacked_into(*xs[i], n, pf,
+/// *ys[i], accum) at every thread width and for every batch composition --
+/// the fused sweep only re-partitions work units, never per-element
+/// accumulation chains. Shapes the cached panel cannot serve (mode 0, no
+/// panel, reference engine) fall back to the per-item call.
+template <class T>
+void ttm_packed_multi_into(const std::vector<const Tensor<T>*>& xs,
+                           std::size_t n, const PrepackedFactor<T>& pf,
+                           const std::vector<Tensor<T>*>& ys,
+                           Accum accum = Accum::kNative) {
+  TUCKER_CHECK(pf.staged(), "ttm_packed_multi_into: factor not staged");
+  TUCKER_CHECK(xs.size() == ys.size(),
+               "ttm_packed_multi_into: xs/ys size mismatch");
+  if (xs.empty()) return;
+  if (n == 0 || pf.panel() == nullptr || ttm_engine() != TtmEngine::kPacked) {
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      ttm_prepacked_into(*xs[i], n, pf, *ys[i], accum);
+    return;
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    TUCKER_CHECK(n < xs[i]->order(), "ttm: mode out of range");
+    TUCKER_CHECK(pf.cols() == xs[i]->dim(n), "ttm: inner dimension mismatch");
+    TUCKER_CHECK(xs[i] != ys[i],
+                 "ttm_packed_multi_into: x and y must be distinct");
+    ys[i]->reshape_mode_of(*xs[i], n, pf.rows());
+  }
+  if (accum == Accum::kWide) {
+    detail::ttm_tall_from_panel_multi<T, wide_t<T>>(xs, n, pf.panel(),
+                                                    pf.rows(), pf.cols(), ys);
+  } else {
+    detail::ttm_tall_from_panel_multi<T, T>(xs, n, pf.panel(), pf.rows(),
+                                            pf.cols(), ys);
+  }
+}
+
 }  // namespace tucker::tensor

@@ -37,6 +37,7 @@
 #include <cstdlib>
 #include <string_view>
 #include <type_traits>
+#include <vector>
 
 #include "blas/gemm.hpp"
 #include "common/precision.hpp"
@@ -178,6 +179,85 @@ void ttm_tall_from_panel(const Tensor<T>& x, std::size_t n, const T* apack,
     }
   } else {
     for (index_t b = 0; b < nblocks; ++b) run_block_cols(b, 0, before);
+  }
+}
+
+/// Multi-RHS variant of the tall-factor block sweep: one staged A panel
+/// applied to a whole batch of right-hand-side tensors in a single sweep.
+/// This is the batched-serving kernel -- the panel is loaded into cache
+/// once per (unit, k-block) instead of once per request, which is the
+/// entire perf win of request fusion (DESIGN.md Sec 15).
+///
+/// The work units are the (item, unfolding-block) pairs flattened across
+/// the batch; items may have different shapes below mode n (region chains
+/// mixed with full chains), they only share r and k at mode n. Each unit
+/// runs the *same* gemm_prepacked_a call, over the same operand views, as
+/// its item's solo ttm_tall_from_panel sweep would -- fanout here only
+/// re-partitions units/columns across threads, and gemm_prepacked_a is
+/// bitwise partition-invariant, so every item's output is bit-identical to
+/// its unbatched result regardless of batch composition. Unit lookup is an
+/// O(batch) scan on purpose: no arena scratch, so a fused job leaves the
+/// same Workspace watermark as the solo requests it replaces.
+template <class T, class TA = T>
+void ttm_tall_from_panel_multi(const std::vector<const Tensor<T>*>& xs,
+                               std::size_t n, const T* apack, index_t r,
+                               index_t k, const std::vector<Tensor<T>*>& ys) {
+  const std::size_t m = xs.size();
+  const index_t width = parallel::this_thread_width();
+  index_t total_units = 0;
+  double work = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const index_t before = prod_before(xs[i]->dims(), n);
+    const index_t nb = unfolding_num_blocks(*xs[i], n);
+    total_units += nb;
+    work += 2.0 * r * k * static_cast<double>(before) * static_cast<double>(nb);
+  }
+  auto run_unit_cols = [&](std::size_t item, index_t blk, index_t j0,
+                           index_t j1) {
+    auto xb = unfolding_block(*xs[item], n, blk);
+    auto yb = unfolding_block(*ys[item], n, blk);
+    blas::detail::gemm_prepacked_a<T, TA>(
+        apack, r, k, MatView<const T>(xb.block(0, j0, k, j1 - j0)),
+        yb.block(0, j0, r, j1 - j0));
+  };
+  auto locate = [&](index_t unit, std::size_t& item, index_t& blk) {
+    std::size_t i = 0;
+    for (index_t off = unit;; ++i) {
+      const index_t nb = unfolding_num_blocks(*xs[i], n);
+      if (off < nb) {
+        item = i;
+        blk = off;
+        return;
+      }
+      off -= nb;
+    }
+  };
+  const bool fan_out = width > 1 && work >= tune::par_flop_threshold();
+  if (fan_out && total_units >= 2 * width) {
+    parallel::parallel_for(0, total_units, 1, [&](index_t lo, index_t hi) {
+      for (index_t u = lo; u < hi; ++u) {
+        std::size_t item;
+        index_t blk;
+        locate(u, item, blk);
+        run_unit_cols(item, blk, 0, prod_before(xs[item]->dims(), n));
+      }
+    });
+  } else if (fan_out) {
+    for (index_t u = 0; u < total_units; ++u) {
+      std::size_t item;
+      index_t blk;
+      locate(u, item, blk);
+      parallel::parallel_for(0, prod_before(xs[item]->dims(), n), 64,
+                             [&](index_t j0, index_t j1) {
+                               run_unit_cols(item, blk, j0, j1);
+                             });
+    }
+  } else {
+    for (std::size_t i = 0; i < m; ++i) {
+      const index_t before = prod_before(xs[i]->dims(), n);
+      const index_t nb = unfolding_num_blocks(*xs[i], n);
+      for (index_t b = 0; b < nb; ++b) run_unit_cols(i, b, 0, before);
+    }
   }
 }
 
